@@ -1,0 +1,47 @@
+// Regenerates Fig. 2 of the paper (experiments E1-E4): acceptance ratio
+// vs. normalized utilization for the four evaluated sub-figures
+//
+//   (a) m=16, n_r in [4,8],  p_r=0.5, U_avg=1.5
+//   (b) m=32, n_r in [8,16], p_r=1,   U_avg=1.5
+//   (c) m=16, n_r in [4,8],  p_r=0.5, U_avg=2
+//   (d) m=32, n_r in [8,16], p_r=1,   U_avg=2
+//
+// all with N_{i,q} in [1,50] and L_{i,q} in [50,100]us, comparing
+// DPCP-p-EP, DPCP-p-EN, SPIN-SON, LPP and FED-FP.
+//
+// Usage: bench_fig2 [a|b|c|d ...]   (default: all four)
+// Environment: DPCP_SAMPLES (default 100), DPCP_SEED, DPCP_THREADS.
+#include <cstdio>
+#include <string>
+
+#include "core/dpcp.hpp"
+
+using namespace dpcp;
+
+static void run_subfigure(char which, const AcceptanceOptions& options) {
+  const Scenario scenario = fig2_scenario(which);
+  std::printf("=== Fig. 2(%c): %s  [%d samples/point] ===\n", which,
+              scenario.name().c_str(), options.samples_per_point);
+  const AcceptanceCurve curve =
+      run_acceptance(scenario, all_analysis_kinds(), options);
+  std::fputs(curve.to_table().c_str(), stdout);
+  std::printf("total accepted:");
+  for (std::size_t a = 0; a < curve.names.size(); ++a)
+    std::printf("  %s=%lld", curve.names[a].c_str(),
+                static_cast<long long>(curve.total_accepted(a)));
+  std::printf("\n\n");
+}
+
+int main(int argc, char** argv) {
+  const AcceptanceOptions options = options_from_env(/*default_samples=*/100);
+  std::string which = argc > 1 ? "" : "abcd";
+  for (int i = 1; i < argc; ++i) which += argv[i][0];
+  for (char c : which) {
+    if (c < 'a' || c > 'd') {
+      std::fprintf(stderr, "unknown sub-figure '%c' (expect a..d)\n", c);
+      return 1;
+    }
+    run_subfigure(c, options);
+  }
+  return 0;
+}

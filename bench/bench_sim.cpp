@@ -1,0 +1,90 @@
+// Microbenchmarks of the DPCP-p runtime simulator, plus a Lemma-1 soak
+// counter: simulated events per second and the observed maximum number of
+// lower-priority blockers per request across many random workloads.
+#include <benchmark/benchmark.h>
+
+#include "core/dpcp.hpp"
+
+namespace dpcp {
+namespace {
+
+struct Prepared {
+  TaskSet ts;
+  Partition part;
+};
+
+Prepared prepare(int seed, double util) {
+  for (;; ++seed) {
+    Rng rng(static_cast<std::uint64_t>(seed));
+    GenParams params;
+    params.scenario.m = 16;
+    params.scenario.p_r = 0.75;
+    params.total_utilization = util;
+    auto ts = generate_taskset(rng, params);
+    if (!ts) continue;
+    auto part = initial_federated_partition(*ts, 16);
+    if (!part) continue;
+    if (!wfd_assign_resources(*ts, *part).feasible) continue;
+    return Prepared{std::move(*ts), std::move(*part)};
+  }
+}
+
+void BM_SimulateHorizon(benchmark::State& state) {
+  const Prepared p = prepare(3, 6.0);
+  SimConfig cfg;
+  cfg.horizon = millis(state.range(0));
+  std::int64_t requests = 0;
+  for (auto _ : state) {
+    const SimResult r = simulate(p.ts, p.part, cfg);
+    requests += r.global_requests_completed;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["requests/iter"] =
+      static_cast<double>(requests) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_SimulateHorizon)
+    ->Arg(50)
+    ->Arg(200)
+    ->Arg(500)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SimulateCheckersOverhead(benchmark::State& state) {
+  const Prepared p = prepare(3, 6.0);
+  SimConfig cfg;
+  cfg.horizon = millis(200);
+  cfg.run_checkers = state.range(0) != 0;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(simulate(p.ts, p.part, cfg));
+  state.SetLabel(cfg.run_checkers ? "checkers-on" : "checkers-off");
+}
+BENCHMARK(BM_SimulateCheckersOverhead)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+/// Not a timing benchmark: a soak run validating Lemma 1 across seeds; the
+/// reported counter is the worst observed lower-priority blocker count
+/// (must be <= 1).
+void BM_Lemma1Soak(benchmark::State& state) {
+  int worst = 0;
+  std::int64_t violations = 0;
+  int seed = 100;
+  for (auto _ : state) {
+    const Prepared p = prepare(seed++, 7.0);
+    SimConfig cfg;
+    cfg.horizon = millis(100);
+    cfg.seed = static_cast<std::uint64_t>(seed);
+    const SimResult r = simulate(p.ts, p.part, cfg);
+    worst = std::max(worst, r.max_lower_priority_blockers);
+    violations += r.lemma1_violations + r.mutual_exclusion_violations +
+                  r.ceiling_violations + r.work_conserving_violations;
+  }
+  state.counters["max_lp_blockers"] = worst;
+  state.counters["violations"] = static_cast<double>(violations);
+}
+BENCHMARK(BM_Lemma1Soak)->Unit(benchmark::kMillisecond)->Iterations(20);
+
+}  // namespace
+}  // namespace dpcp
+
+BENCHMARK_MAIN();

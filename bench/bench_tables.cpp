@@ -1,0 +1,58 @@
+// Regenerates Tables 2 and 3 of the paper (experiments E5-E6): pairwise
+// dominance and outperformance statistics over the full 216-scenario
+// space (m x n_r x U_avg x p_r x N x L).
+//
+// For every scenario an acceptance-ratio sweep is run (utilization 1..m in
+// steps of 0.05m); then, per ordered pair of approaches (A, B):
+//   * A dominates B if A's ratio is never below B's and above somewhere;
+//   * A outperforms B if A accepted more task sets over the sweep.
+//
+// Usage: bench_tables [max_scenarios]
+// Environment: DPCP_SAMPLES (default 10 -- the statistics are over 216
+// scenarios, so modest per-point sampling already separates the
+// approaches; raise for publication-grade percentages), DPCP_SEED,
+// DPCP_THREADS.
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/dpcp.hpp"
+
+using namespace dpcp;
+
+int main(int argc, char** argv) {
+  const AcceptanceOptions options = options_from_env(/*default_samples=*/10);
+  auto scenarios = all_scenarios();
+  if (argc > 1) {
+    const std::size_t cap = static_cast<std::size_t>(std::atoll(argv[1]));
+    if (cap < scenarios.size()) scenarios.resize(cap);
+  }
+
+  std::printf("Running %zu scenarios, %d samples per utilization point\n",
+              scenarios.size(), options.samples_per_point);
+
+  // The paper's Tables 2-3 compare the four locking approaches; FED-FP is
+  // the hypothetical upper baseline of Fig. 2 only.
+  const std::vector<AnalysisKind> kinds{
+      AnalysisKind::kDpcpPEp, AnalysisKind::kDpcpPEn, AnalysisKind::kSpinSon,
+      AnalysisKind::kLpp};
+
+  std::vector<AcceptanceCurve> curves;
+  curves.reserve(scenarios.size());
+  for (std::size_t s = 0; s < scenarios.size(); ++s) {
+    AcceptanceOptions per = options;
+    per.seed = options.seed + s * 1000003;
+    curves.push_back(run_acceptance(scenarios[s], kinds, per));
+    if ((s + 1) % 20 == 0 || s + 1 == scenarios.size())
+      std::fprintf(stderr, "  ... %zu/%zu scenarios done\n", s + 1,
+                   scenarios.size());
+  }
+
+  const PairwiseStats stats = compute_pairwise(curves);
+  std::printf("\nTable 2. Statistic for Dominance (out of %d scenarios).\n",
+              stats.scenarios);
+  std::fputs(stats.to_table(/*dominance_table=*/true).c_str(), stdout);
+  std::printf("\nTable 3. Statistic for Outperformance (out of %d scenarios).\n",
+              stats.scenarios);
+  std::fputs(stats.to_table(/*dominance_table=*/false).c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,248 @@
+#include "analysis/dpcp_p.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+#include "analysis/rta_common.hpp"
+#include "model/paths.hpp"
+#include "util/fixed_point.hpp"
+
+namespace dpcp {
+namespace {
+
+/// All per-call state of one task's DPCP-p analysis.
+class TaskAnalysis {
+ public:
+  TaskAnalysis(const TaskSet& ts, const Partition& part, int i,
+               const std::vector<Time>& hint)
+      : ts_(ts), part_(part), i_(i), hint_(hint), ti_(ts.task(i)) {
+    mi_ = part.cluster_size(i);
+    assert(mi_ >= 1);
+    deadline_ = ti_.deadline();
+    contention_ = build_processor_contention(ts, part, i);
+
+    for (ResourceId q : ti_.used_resources())
+      if (ts.is_local(q)) my_locals_.push_back(q);
+
+    // Phi^p(tau_i): global resources hosted by tau_i's own cluster, and the
+    // per-task agent demand they attract (Lemma 6).
+    cluster_globals_.clear();
+    for (ResourceId q : part.resources_on_cluster(i))
+      if (ts.is_global(q)) cluster_globals_.push_back(q);
+    for (int j = 0; j < ts.size(); ++j) {
+      if (j == i) continue;
+      Time demand = 0;
+      for (ResourceId q : cluster_globals_)
+        demand += ts.task(j).usage(q).demand();
+      if (demand > 0) agent_demand_.emplace_back(j, demand);
+    }
+
+    // P-FP preemption by co-located higher-priority tasks (non-empty only
+    // for light tasks on shared processors, Sec. VI).
+    preempt_demand_ = preemption_demand(ts, part, i);
+  }
+
+  /// Lemma 2: response time of a request from tau_i to q, where
+  /// `intra_ahead` = sum over globals co-hosted with q of the *off-path*
+  /// request demand (N_{i,u} - N^lambda_{i,u}) L_{i,u}.
+  std::optional<Time> request_response(const ProcessorContention& pc,
+                                       ResourceId q, Time intra_ahead) {
+    const auto key = std::make_pair(q, intra_ahead);
+    if (auto it = w_memo_.find(key); it != w_memo_.end()) return it->second;
+    const Time own_cs = ti_.usage(q).cs_length;
+    auto f = [&](Time w) {
+      return own_cs + intra_ahead + pc.beta + gamma(pc, ts_, hint_, w);
+    };
+    const auto fp = solve_fixed_point(f, f(0), deadline_);
+    const std::optional<Time> w = fp.value;
+    w_memo_.emplace(key, w);
+    return w;
+  }
+
+  /// Theorem 1 for one path class.  `nlam[q]` = on-path request count;
+  /// for the EN envelope pass envelope=true (nlam is then ignored where the
+  /// per-term maximisation dictates).
+  std::optional<Time> path_bound(Time path_len, const std::vector<int>& nlam,
+                                 bool envelope) {
+    // ---- per-processor epsilon (Lemma 3) and global intra blocking b^G
+    // (Lemma 4) -- constants w.r.t. the outer recurrence.
+    struct ProcTerm {
+      Time eps = 0;
+      const ProcessorContention* pc = nullptr;
+    };
+    std::vector<ProcTerm> proc_terms;
+    Time b_global = 0;
+    for (const auto& pc : contention_) {
+      // Off-path demand of tau_i on this processor's globals, and
+      // sigma_{i,k}: does the path request a global on this processor?
+      Time off_path = 0;
+      bool sigma = false;
+      for (ResourceId u : pc.globals) {
+        const auto& use = ti_.usage(u);
+        if (!use.used()) continue;
+        const int on_path = envelope ? 0 : nlam[static_cast<std::size_t>(u)];
+        off_path += static_cast<Time>(use.max_requests - on_path) *
+                    use.cs_length;
+        if (!envelope && on_path > 0) sigma = true;
+      }
+      if (envelope) sigma = pc.own_demand > 0;
+
+      ProcTerm term;
+      term.pc = &pc;
+      for (ResourceId q : pc.globals) {
+        const auto& use = ti_.usage(q);
+        if (!use.used()) continue;
+        const int mult =
+            envelope ? use.max_requests : nlam[static_cast<std::size_t>(q)];
+        if (mult == 0) continue;
+        const auto w = request_response(pc, q, off_path);
+        if (!w) return std::nullopt;  // a single request misses the deadline
+        term.eps += static_cast<Time>(mult) *
+                    (pc.beta + gamma(pc, ts_, hint_, *w));
+      }
+      if (sigma) b_global += off_path;
+      proc_terms.push_back(term);
+    }
+
+    // ---- local intra-task blocking b^L (Lemma 4).
+    Time b_local = 0;
+    for (ResourceId q : my_locals_) {
+      const auto& use = ti_.usage(q);
+      if (envelope) {
+        // max over x in [0, N] of min(1,x) (N-x) L  ->  x = 1.
+        if (use.max_requests >= 1)
+          b_local += static_cast<Time>(use.max_requests - 1) * use.cs_length;
+      } else {
+        const int on_path = nlam[static_cast<std::size_t>(q)];
+        if (on_path > 0)
+          b_local += static_cast<Time>(use.max_requests - on_path) *
+                     use.cs_length;
+      }
+    }
+
+    // ---- intra-task interference (Lemma 5).
+    Time i_intra = 0;
+    if (envelope) {
+      // sum_{v not on lambda} C' <= C' - max(0, L* - sum_q N_q L_q); see
+      // DESIGN.md for the monotonicity argument that makes this sound for
+      // every complete path.
+      i_intra = ti_.noncrit_wcet() -
+                std::max<Time>(0, path_len - ti_.cs_demand());
+      for (ResourceId q : my_locals_)
+        i_intra += ti_.usage(q).demand();
+    } else {
+      Time cs_on_path = 0;
+      for (ResourceId q : ti_.used_resources())
+        cs_on_path += static_cast<Time>(nlam[static_cast<std::size_t>(q)]) *
+                      ti_.usage(q).cs_length;
+      i_intra = ti_.noncrit_wcet() - (path_len - cs_on_path);
+      for (ResourceId q : my_locals_)
+        i_intra += static_cast<Time>(ti_.usage(q).max_requests -
+                                     nlam[static_cast<std::size_t>(q)]) *
+                   ti_.usage(q).cs_length;
+    }
+    assert(i_intra >= 0);
+
+    // ---- agent interference constants (Lemma 6, breve term).
+    Time ia_const = 0;
+    for (ResourceId q : cluster_globals_) {
+      const auto& use = ti_.usage(q);
+      if (!use.used()) continue;
+      const int on_path =
+          envelope ? 0 : nlam[static_cast<std::size_t>(q)];
+      ia_const += static_cast<Time>(use.max_requests - on_path) *
+                  use.cs_length;
+    }
+
+    // ---- outer recurrence (Theorem 1).
+    auto f = [&](Time r) {
+      Time blocking = 0;
+      for (const auto& term : proc_terms) {
+        Time zeta = 0;
+        for (const auto& [j, demand] : term.pc->other_task_demand)
+          zeta += eta(r, hint_[static_cast<std::size_t>(j)],
+                      ts_.task(j).period()) *
+                  demand;
+        blocking += std::min(term.eps, zeta);
+      }
+      Time ia = ia_const;
+      for (const auto& [j, demand] : agent_demand_)
+        ia += eta(r, hint_[static_cast<std::size_t>(j)],
+                  ts_.task(j).period()) *
+              demand;
+      return path_len + blocking + b_local + b_global +
+             div_ceil(i_intra + ia, mi_) +
+             preemption(preempt_demand_, ts_, hint_, r);
+    };
+    return solve_fixed_point(f, path_len, deadline_).value;
+  }
+
+  const TaskSet& ts_;
+  const Partition& part_;
+  const int i_;
+  const std::vector<Time>& hint_;
+  const DagTask& ti_;
+  int mi_ = 1;
+  Time deadline_ = 0;
+  std::vector<ProcessorContention> contention_;
+  std::vector<ResourceId> my_locals_;
+  std::vector<ResourceId> cluster_globals_;
+  std::vector<std::pair<int, Time>> agent_demand_;
+  std::vector<std::pair<int, Time>> preempt_demand_;
+  std::map<std::pair<ResourceId, Time>, std::optional<Time>> w_memo_;
+};
+
+}  // namespace
+
+std::optional<Time> DpcpPAnalysis::wcrt(const TaskSet& ts,
+                                        const Partition& part, int task,
+                                        const std::vector<Time>& hint) const {
+  TaskAnalysis ta(ts, part, task, hint);
+  const DagTask& ti = ts.task(task);
+  const std::vector<int> no_requests;  // envelope ignores nlam
+
+  if (part.task_shares_processor(task)) {
+    // Partitioned light task (Sec. VI): executed sequentially, so the
+    // whole job is one "path" of length C_i carrying all N_{i,q} requests.
+    // Intra-task blocking and interference vanish; inter-task blocking and
+    // agent interference are analysed by the same machinery, and P-FP
+    // preemption by co-located tasks enters the outer recurrence.
+    std::vector<int> all_requests(
+        static_cast<std::size_t>(ti.num_resources()), 0);
+    for (ResourceId q : ti.used_resources())
+      all_requests[static_cast<std::size_t>(q)] = ti.usage(q).max_requests;
+    return ta.path_bound(ti.wcet(), all_requests, /*envelope=*/false);
+  }
+
+  if (mode_ == PathMode::kEnvelope) {
+    return ta.path_bound(ti.longest_path_length(), no_requests,
+                         /*envelope=*/true);
+  }
+
+  const PathEnumResult paths =
+      enumerate_path_signatures(ti, options_.max_paths);
+  if (paths.truncated ||
+      static_cast<std::int64_t>(paths.signatures.size()) >
+          options_.max_signatures) {
+    // Path space too large: fall back to the envelope, which dominates
+    // every per-path bound (sound, possibly pessimistic).
+    return ta.path_bound(ti.longest_path_length(), no_requests,
+                         /*envelope=*/true);
+  }
+
+  Time worst = 0;
+  std::vector<int> nlam(static_cast<std::size_t>(ti.num_resources()), 0);
+  for (const PathSignature& sig : paths.signatures) {
+    std::fill(nlam.begin(), nlam.end(), 0);
+    for (std::size_t k = 0; k < paths.resource_index.size(); ++k)
+      nlam[static_cast<std::size_t>(paths.resource_index[k])] =
+          sig.requests[k];
+    const auto r = ta.path_bound(sig.length, nlam, /*envelope=*/false);
+    if (!r) return std::nullopt;
+    worst = std::max(worst, *r);
+  }
+  return worst;
+}
+
+}  // namespace dpcp

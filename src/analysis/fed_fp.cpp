@@ -1,0 +1,22 @@
+#include "analysis/fed_fp.hpp"
+
+#include "analysis/rta_common.hpp"
+#include "partition/federated.hpp"
+#include "util/fixed_point.hpp"
+
+namespace dpcp {
+
+std::optional<Time> FedFpAnalysis::wcrt(const TaskSet& ts,
+                                        const Partition& part, int task,
+                                        const std::vector<Time>& hint) const {
+  const DagTask& ti = ts.task(task);
+  const Time base = federated_wcrt_bound(ti, part.cluster_size(task));
+  // Heavy tasks own their cluster: the preemption demand is empty and the
+  // recurrence collapses to the plain federated bound.  Light tasks on
+  // shared processors additionally suffer P-FP preemption (Sec. VI).
+  const auto demand = preemption_demand(ts, part, task);
+  auto f = [&](Time r) { return base + preemption(demand, ts, hint, r); };
+  return solve_fixed_point(f, base, ti.deadline()).value;
+}
+
+}  // namespace dpcp

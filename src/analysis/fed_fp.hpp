@@ -1,0 +1,21 @@
+// Resource-oblivious federated scheduling (Li et al., ECRTS 2014): the
+// paper's hypothetical "FED-FP" upper baseline, which pretends critical
+// sections are ordinary computation.
+#pragma once
+
+#include "analysis/interface.hpp"
+
+namespace dpcp {
+
+class FedFpAnalysis final : public SchedAnalysis {
+ public:
+  std::string name() const override { return "FED-FP"; }
+  ResourcePlacement placement() const override {
+    return ResourcePlacement::kNone;
+  }
+
+  std::optional<Time> wcrt(const TaskSet& ts, const Partition& part, int task,
+                           const std::vector<Time>& hint) const override;
+};
+
+}  // namespace dpcp

@@ -1,0 +1,45 @@
+#include "analysis/interface.hpp"
+
+#include "analysis/dpcp_p.hpp"
+#include "analysis/fed_fp.hpp"
+#include "analysis/lpp.hpp"
+#include "analysis/spin_son.hpp"
+
+namespace dpcp {
+
+PartitionOutcome SchedAnalysis::test(const TaskSet& ts, int m) const {
+  PartitionOptions options;
+  options.placement = placement();
+  WcrtOracle oracle = [this](const TaskSet& t, const Partition& p, int i,
+                             const std::vector<Time>& hint) {
+    return wcrt(t, p, i, hint);
+  };
+  return partition_and_analyze(ts, m, oracle, options);
+}
+
+std::unique_ptr<SchedAnalysis> make_analysis(AnalysisKind kind) {
+  switch (kind) {
+    case AnalysisKind::kDpcpPEp:
+      return std::make_unique<DpcpPAnalysis>(DpcpPAnalysis::PathMode::kEnumerate);
+    case AnalysisKind::kDpcpPEn:
+      return std::make_unique<DpcpPAnalysis>(DpcpPAnalysis::PathMode::kEnvelope);
+    case AnalysisKind::kSpinSon:
+      return std::make_unique<SpinSonAnalysis>();
+    case AnalysisKind::kLpp:
+      return std::make_unique<LppAnalysis>();
+    case AnalysisKind::kFedFp:
+      return std::make_unique<FedFpAnalysis>();
+  }
+  return nullptr;
+}
+
+std::vector<AnalysisKind> all_analysis_kinds() {
+  return {AnalysisKind::kDpcpPEp, AnalysisKind::kDpcpPEn,
+          AnalysisKind::kSpinSon, AnalysisKind::kLpp, AnalysisKind::kFedFp};
+}
+
+std::string analysis_kind_name(AnalysisKind kind) {
+  return make_analysis(kind)->name();
+}
+
+}  // namespace dpcp

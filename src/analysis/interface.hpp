@@ -1,0 +1,55 @@
+// Common interface of the schedulability analyses compared in Sec. VII.
+//
+// An analysis supplies (i) the per-task WCRT oracle consumed by the
+// partitioning loop (Algorithm 1) and (ii) which resource-placement policy
+// its protocol requires (remote-execution protocols pin global resources to
+// processors; local-execution protocols do not).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/taskset.hpp"
+#include "partition/partitioner.hpp"
+
+namespace dpcp {
+
+class SchedAnalysis {
+ public:
+  virtual ~SchedAnalysis() = default;
+
+  /// Display name, e.g. "DPCP-p-EP".
+  virtual std::string name() const = 0;
+
+  /// Placement policy Algorithm 1 must run for this protocol.
+  virtual ResourcePlacement placement() const = 0;
+
+  /// WCRT bound of `task` under `part`; `hint[j]` is the response time to
+  /// assume for every other task (computed value or D_j).  nullopt when the
+  /// bound exceeds the deadline or the recurrence diverges.
+  virtual std::optional<Time> wcrt(const TaskSet& ts, const Partition& part,
+                                   int task,
+                                   const std::vector<Time>& hint) const = 0;
+
+  /// End-to-end schedulability test: Algorithm 1 with this analysis.
+  PartitionOutcome test(const TaskSet& ts, int m) const;
+};
+
+enum class AnalysisKind {
+  kDpcpPEp,   // DPCP-p, enumerating complete paths (Sec. IV + VI)
+  kDpcpPEn,   // DPCP-p, N^lambda envelope as in prior work [6],[11]
+  kSpinSon,   // FIFO spin locks under federated scheduling (after [6])
+  kLpp,       // suspension-based semaphores under federated scheduling [11]
+  kFedFp,     // federated scheduling ignoring shared resources [13]
+};
+
+std::unique_ptr<SchedAnalysis> make_analysis(AnalysisKind kind);
+
+/// The five approaches in the paper's comparison, in display order.
+std::vector<AnalysisKind> all_analysis_kinds();
+
+std::string analysis_kind_name(AnalysisKind kind);
+
+}  // namespace dpcp

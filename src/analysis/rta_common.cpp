@@ -1,0 +1,89 @@
+#include "analysis/rta_common.hpp"
+
+#include <algorithm>
+
+namespace dpcp {
+
+std::vector<ProcessorContention> build_processor_contention(
+    const TaskSet& ts, const Partition& part, int i) {
+  const DagTask& ti = ts.task(i);
+  std::vector<ProcessorContention> out;
+
+  for (ProcessorId p = 0; p < part.num_processors(); ++p) {
+    std::vector<ResourceId> globals;
+    for (ResourceId q : part.resources_on_processor(p))
+      if (ts.is_global(q)) globals.push_back(q);
+    if (globals.empty()) continue;
+
+    ProcessorContention pc;
+    pc.proc = p;
+    pc.globals = globals;
+
+    for (ResourceId q : globals)
+      pc.own_demand += ti.usage(q).demand();
+
+    // beta: longest critical section of a *lower-priority* task on any
+    // global here whose ceiling can block tau_i (some user has priority
+    // >= pi_i).
+    for (ResourceId q : globals) {
+      if (ts.ceiling_priority(q) < ti.priority()) continue;
+      for (int j = 0; j < ts.size(); ++j) {
+        if (j == i || ts.task(j).priority() >= ti.priority()) continue;
+        if (!ts.task(j).uses(q)) continue;
+        pc.beta = std::max(pc.beta, ts.task(j).usage(q).cs_length);
+      }
+    }
+
+    for (int j = 0; j < ts.size(); ++j) {
+      if (j == i) continue;
+      Time demand = 0;
+      for (ResourceId q : globals) demand += ts.task(j).usage(q).demand();
+      if (demand == 0) continue;
+      pc.other_task_demand.emplace_back(j, demand);
+      if (ts.task(j).priority() > ti.priority())
+        pc.higher_priority_demand.emplace_back(j, demand);
+    }
+    out.push_back(std::move(pc));
+  }
+  return out;
+}
+
+Time gamma(const ProcessorContention& pc, const TaskSet& ts,
+           const std::vector<Time>& hint, Time window) {
+  Time total = 0;
+  for (const auto& [j, demand] : pc.higher_priority_demand) {
+    total += eta(window, hint[static_cast<std::size_t>(j)],
+                 ts.task(j).period()) *
+             demand;
+  }
+  return total;
+}
+
+std::vector<std::pair<int, Time>> preemption_demand(const TaskSet& ts,
+                                                    const Partition& part,
+                                                    int i) {
+  std::vector<std::pair<int, Time>> out;
+  std::vector<bool> seen(static_cast<std::size_t>(ts.size()), false);
+  for (ProcessorId p : part.cluster(i)) {
+    for (int j : part.tasks_on_processor(p)) {
+      if (j == i || seen[static_cast<std::size_t>(j)]) continue;
+      seen[static_cast<std::size_t>(j)] = true;
+      if (ts.task(j).priority() > ts.task(i).priority())
+        out.emplace_back(j, ts.task(j).wcet());
+    }
+  }
+  return out;
+}
+
+Time preemption(const std::vector<std::pair<int, Time>>& demand,
+                const TaskSet& ts, const std::vector<Time>& hint,
+                Time window) {
+  Time total = 0;
+  for (const auto& [j, wcet] : demand)
+    total += eta(window, hint[static_cast<std::size_t>(j)],
+                 ts.task(j).period()) *
+             wcet;
+  return total;
+}
+
+}  // namespace dpcp

@@ -1,0 +1,77 @@
+#include "analysis/spin_son.hpp"
+
+#include <algorithm>
+
+#include "analysis/rta_common.hpp"
+
+#include "util/fixed_point.hpp"
+
+namespace dpcp {
+
+Time SpinSonAnalysis::spin_delay(const TaskSet& ts, const Partition& part,
+                                 int task, ResourceId q) {
+  const DagTask& ti = ts.task(task);
+  Time delay = 0;
+  // FIFO: one in-flight request per contending processor can be ahead.
+  for (int j = 0; j < ts.size(); ++j) {
+    if (j == task) continue;
+    const auto& use = ts.task(j).usage(q);
+    if (!use.used()) continue;
+    const int slots = std::min(part.cluster_size(j), use.max_requests);
+    delay += static_cast<Time>(slots) * use.cs_length;
+  }
+  const auto& own = ti.usage(q);
+  if (own.max_requests > 1) {
+    const int slots =
+        std::min(part.cluster_size(task) - 1, own.max_requests - 1);
+    if (slots > 0) delay += static_cast<Time>(slots) * own.cs_length;
+  }
+  return delay;
+}
+
+std::optional<Time> SpinSonAnalysis::wcrt(const TaskSet& ts,
+                                          const Partition& part, int task,
+                                          const std::vector<Time>& hint) const {
+  const DagTask& ti = ts.task(task);
+  const int mi = part.cluster_size(task);
+  const Time lstar = ti.longest_path_length();
+
+  // Per-job spin on l_q is bounded by BOTH (i) the per-request FIFO bound
+  // N_{i,q} * spin_delay (each request waits for at most one in-flight
+  // request per contending processor) and (ii) the remote critical-section
+  // work actually released within the response window (a job cannot
+  // busy-wait on work that does not exist) -- the same min() structure as
+  // Lemma 3's eps/zeta.  The joint N^lambda maximum puts all spin on the
+  // analysed path (coefficient 1 > 1/m), so spin inflates the path only.
+  std::vector<std::pair<ResourceId, Time>> per_request;  // (q, N*S)
+  for (ResourceId q : ti.used_resources())
+    per_request.emplace_back(
+        q, static_cast<Time>(ti.usage(q).max_requests) *
+               spin_delay(ts, part, task, q));
+
+  const Time base = lstar + div_ceil(ti.wcet() - lstar, mi);
+  const auto demand = preemption_demand(ts, part, task);
+  auto f = [&](Time r) {
+    Time spin = 0;
+    for (const auto& [q, fifo_bound] : per_request) {
+      Time window_demand = 0;
+      for (int j = 0; j < ts.size(); ++j) {
+        if (j == task) continue;
+        const auto& use = ts.task(j).usage(q);
+        if (!use.used()) continue;
+        window_demand += eta(r, hint[static_cast<std::size_t>(j)],
+                             ts.task(j).period()) *
+                         use.demand();
+      }
+      // Own concurrent requests can also be spun on, once each.
+      window_demand +=
+          static_cast<Time>(std::max(0, ti.usage(q).max_requests - 1)) *
+          ti.usage(q).cs_length;
+      spin += std::min(fifo_bound, window_demand);
+    }
+    return base + spin + preemption(demand, ts, hint, r);
+  };
+  return solve_fixed_point(f, base, ti.deadline()).value;
+}
+
+}  // namespace dpcp

@@ -1,0 +1,59 @@
+// Acceptance-ratio experiments (Sec. VII / Fig. 2 of the paper).
+//
+// For one scenario, sweeps total utilization over the paper's grid and
+// measures, per analysis, the fraction of randomly generated task sets
+// deemed schedulable.  All analyses are run on the *same* task sets
+// (paired comparison), and every sample derives from a deterministic
+// sub-stream of the experiment seed, so results are reproducible and
+// thread-count independent.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/interface.hpp"
+#include "gen/scenario.hpp"
+#include "gen/taskset_gen.hpp"
+
+namespace dpcp {
+
+struct AcceptanceCurve {
+  Scenario scenario;
+  std::vector<double> utilization;  // tested total utilizations
+  std::vector<std::string> names;   // analyses, display order
+  /// accepted[a][p] / samples[p]
+  std::vector<std::vector<std::int64_t>> accepted;
+  std::vector<std::int64_t> samples;  // per point (generation may skip)
+  GenStats gen_stats;
+
+  double ratio(std::size_t analysis, std::size_t point) const {
+    return samples[point] == 0
+               ? 0.0
+               : static_cast<double>(accepted[analysis][point]) /
+                     static_cast<double>(samples[point]);
+  }
+  /// Task sets accepted in total across the sweep (the outperformance
+  /// metric of Table 3).
+  std::int64_t total_accepted(std::size_t analysis) const;
+
+  /// Fig.-2-style table: one row per utilization point.
+  std::string to_table() const;
+};
+
+struct AcceptanceOptions {
+  int samples_per_point = 100;
+  std::uint64_t seed = 42;
+  /// 0 = one thread per hardware core.
+  int threads = 0;
+};
+
+AcceptanceCurve run_acceptance(const Scenario& scenario,
+                               const std::vector<AnalysisKind>& kinds,
+                               const AcceptanceOptions& options = {});
+
+/// Reads DPCP_SAMPLES / DPCP_SEED / DPCP_THREADS from the environment
+/// (used by the benchmark binaries so sweep sizes are tunable).
+AcceptanceOptions options_from_env(int default_samples);
+
+}  // namespace dpcp

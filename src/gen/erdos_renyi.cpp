@@ -1,0 +1,17 @@
+#include "gen/erdos_renyi.hpp"
+
+#include <cassert>
+
+namespace dpcp {
+
+Dag erdos_renyi_dag(Rng& rng, int num_vertices, double edge_prob) {
+  assert(num_vertices > 0);
+  assert(edge_prob >= 0.0 && edge_prob <= 1.0);
+  Dag dag(num_vertices);
+  for (VertexId x = 0; x < num_vertices; ++x)
+    for (VertexId y = x + 1; y < num_vertices; ++y)
+      if (rng.bernoulli(edge_prob)) dag.add_edge(x, y);
+  return dag;
+}
+
+}  // namespace dpcp

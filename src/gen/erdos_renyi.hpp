@@ -1,0 +1,16 @@
+// Random DAG structure generation in the style of Cordeiro et al.
+// (SIMUTools 2010), as used by the paper (Sec. VII-A): vertices are
+// numbered 0..n-1 and each forward pair (x, y), x < y, becomes an edge
+// with independent probability p.
+#pragma once
+
+#include "model/dag.hpp"
+#include "util/rng.hpp"
+
+namespace dpcp {
+
+/// G(n, p) layer-free Erdos-Renyi DAG.  Acyclic by construction (edges only
+/// go from lower to higher index).
+Dag erdos_renyi_dag(Rng& rng, int num_vertices, double edge_prob);
+
+}  // namespace dpcp

@@ -1,0 +1,88 @@
+#include "gen/randfixedsum.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace dpcp {
+
+std::vector<double> rand_fixed_sum(Rng& rng, int n, double sum, double lo,
+                                   double hi, RandFixedSumStats* stats,
+                                   int max_attempts) {
+  assert(n >= 1);
+  assert(lo <= hi);
+  // Tolerate tiny numerical slack at the boundaries.
+  const double eps = 1e-9 * std::max(1.0, std::abs(sum));
+  assert(sum >= n * lo - eps && sum <= n * hi + eps);
+
+  RandFixedSumStats local;
+  RandFixedSumStats& st = stats ? *stats : local;
+
+  if (n == 1) {
+    ++st.attempts;
+    return {std::clamp(sum, lo, hi)};
+  }
+  const double width = hi - lo;
+  if (width <= 0.0) {
+    ++st.attempts;
+    return std::vector<double>(static_cast<std::size_t>(n), lo);
+  }
+
+  // Normalise to y in [0,1]^n with sum s in [0, n].
+  double s = (sum - n * lo) / width;
+  s = std::clamp(s, 0.0, static_cast<double>(n));
+  // Symmetry: sampling y uniform with sum s subject to y <= 1 is the mirror
+  // of sampling 1-y with sum n-s.  Work on the low-mass side.
+  const bool flipped = s > n / 2.0;
+  const double target = flipped ? n - s : s;
+
+  std::vector<double> y(static_cast<std::size_t>(n));
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    ++st.attempts;
+    // Exponential spacings: (E_1,...,E_n)/sum(E) is uniform on the simplex.
+    double total = 0.0;
+    for (double& v : y) {
+      v = rng.exponential();
+      total += v;
+    }
+    if (total <= 0.0) continue;
+    bool ok = true;
+    for (double& v : y) {
+      v = v / total * target;
+      if (v > 1.0) {
+        ok = false;  // box violation; keep scanning to finish the scale
+      }
+    }
+    if (!ok) {
+      ++st.rejections;
+      continue;
+    }
+    std::vector<double> out(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      const double yi = flipped ? 1.0 - y[static_cast<std::size_t>(i)]
+                                : y[static_cast<std::size_t>(i)];
+      out[static_cast<std::size_t>(i)] = lo + yi * width;
+    }
+    return out;
+  }
+
+  // Deterministic fallback: feasible equal split (uniformity lost; counted).
+  ++st.fallbacks;
+  const double yi = flipped ? 1.0 - target / n : target / n;
+  return std::vector<double>(static_cast<std::size_t>(n), lo + yi * width);
+}
+
+int choose_task_count(double total_utilization, double u_avg) {
+  assert(total_utilization > 0.0);
+  assert(u_avg > 0.5);  // bounds (1, 2*u_avg] must be a non-empty interval
+  const double hi = 2.0 * u_avg;
+  const int n_min =
+      std::max(1, static_cast<int>(std::ceil(total_utilization / hi - 1e-9)));
+  const int n_max =
+      std::max(1, static_cast<int>(std::floor(total_utilization + 1e-9)));
+  const int n_nominal =
+      static_cast<int>(std::llround(total_utilization / u_avg));
+  return std::clamp(n_nominal, n_min, std::max(n_min, n_max));
+}
+
+}  // namespace dpcp

@@ -1,0 +1,41 @@
+// Utilization synthesis: uniform sampling of n values in [lo, hi] with a
+// fixed sum (the RandFixedSum target distribution of Emberson, Stafford &
+// Davis, WATERS 2010, which the paper uses for task utilizations).
+//
+// We reproduce the *distribution* -- uniform over the simplex slice
+// {x in [lo,hi]^n : sum x = s} -- by exact rejection sampling: draw a
+// uniform point of the scaled standard simplex via exponential spacings and
+// reject box violations.  A symmetry flip (x -> lo+hi-x) keeps the
+// acceptance probability high on both ends of the feasible range; the
+// worst case across the paper's parameter space stays above ~30%.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace dpcp {
+
+struct RandFixedSumStats {
+  std::int64_t attempts = 0;    // simplex draws performed
+  std::int64_t rejections = 0;  // draws rejected for box violations
+  std::int64_t fallbacks = 0;   // times the deterministic fallback was used
+};
+
+/// Samples n values in [lo, hi] summing to `sum` (uniformly over that set).
+/// Requires n >= 1 and n*lo <= sum <= n*hi.  After `max_attempts`
+/// rejections the deterministic equal-split fallback is returned (recorded
+/// in stats; never triggers in the paper's parameter space in practice).
+std::vector<double> rand_fixed_sum(Rng& rng, int n, double sum, double lo,
+                                   double hi,
+                                   RandFixedSumStats* stats = nullptr,
+                                   int max_attempts = 20'000);
+
+/// Number of tasks for a target total utilization (Sec. VII-A): the paper
+/// fixes the expected per-task utilization U_avg with task utilizations in
+/// (1, 2*U_avg], so n = round(U/U_avg) clamped to the feasible range
+/// ceil(U/(2*U_avg)) <= n <= floor(U/1).
+int choose_task_count(double total_utilization, double u_avg);
+
+}  // namespace dpcp

@@ -1,0 +1,79 @@
+#include "gen/scenario.hpp"
+
+#include <cassert>
+
+#include "util/table.hpp"
+
+namespace dpcp {
+
+std::string Scenario::name() const {
+  return strfmt("m=%d nr=[%d,%d] Uavg=%.1f pr=%.2f N=[1,%d] L=[%ld,%ld]us", m,
+                nr_min, nr_max, u_avg, p_r, n_req_max,
+                static_cast<long>(cs_min / kMicrosecond),
+                static_cast<long>(cs_max / kMicrosecond));
+}
+
+std::vector<Scenario> all_scenarios() {
+  const int ms[] = {8, 16, 32};
+  const int nrs[][2] = {{2, 4}, {4, 8}, {8, 16}};
+  const double uavgs[] = {1.5, 2.0};
+  const double prs[] = {0.5, 0.75, 1.0};
+  const int nreqs[] = {25, 50};
+  const Time css[][2] = {{micros(15), micros(50)}, {micros(50), micros(100)}};
+
+  std::vector<Scenario> out;
+  out.reserve(216);
+  for (int m : ms)
+    for (const auto& nr : nrs)
+      for (double ua : uavgs)
+        for (double pr : prs)
+          for (int nq : nreqs)
+            for (const auto& cs : css) {
+              Scenario s;
+              s.m = m;
+              s.nr_min = nr[0];
+              s.nr_max = nr[1];
+              s.u_avg = ua;
+              s.p_r = pr;
+              s.n_req_max = nq;
+              s.cs_min = cs[0];
+              s.cs_max = cs[1];
+              out.push_back(s);
+            }
+  assert(out.size() == 216);
+  return out;
+}
+
+Scenario fig2_scenario(char which) {
+  Scenario s;
+  s.n_req_max = 50;
+  s.cs_min = micros(50);
+  s.cs_max = micros(100);
+  switch (which) {
+    case 'a':
+      s.m = 16; s.nr_min = 4; s.nr_max = 8; s.p_r = 0.5; s.u_avg = 1.5;
+      break;
+    case 'b':
+      s.m = 32; s.nr_min = 8; s.nr_max = 16; s.p_r = 1.0; s.u_avg = 1.5;
+      break;
+    case 'c':
+      s.m = 16; s.nr_min = 4; s.nr_max = 8; s.p_r = 0.5; s.u_avg = 2.0;
+      break;
+    case 'd':
+      s.m = 32; s.nr_min = 8; s.nr_max = 16; s.p_r = 1.0; s.u_avg = 2.0;
+      break;
+    default:
+      assert(false && "fig2_scenario expects 'a'..'d'");
+  }
+  return s;
+}
+
+std::vector<double> utilization_grid(const Scenario& s) {
+  std::vector<double> grid;
+  const double step = 0.05 * s.m;
+  for (double u = 1.0; u < s.m - 1e-9; u += step) grid.push_back(u);
+  grid.push_back(static_cast<double>(s.m));
+  return grid;
+}
+
+}  // namespace dpcp

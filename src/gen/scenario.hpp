@@ -1,0 +1,45 @@
+// The experimental scenario space of Sec. VII-A.
+//
+// The paper sweeps:  m in {8, 16, 32}  x  n_r in {[2,4], [4,8], [8,16]}
+//                  x U_avg in {1.5, 2} x  p_r in {0.5, 0.75, 1}
+//                  x N_{i,q} in {[1,25], [1,50]}
+//                  x L_{i,q} in {[15,50]us, [50,100]us}
+// = 216 scenarios.  For each scenario, total utilization runs from 1 to m
+// in steps of 0.05*m and acceptance ratios are measured per step.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace dpcp {
+
+struct Scenario {
+  int m = 16;               // identical processors
+  int nr_min = 4;           // shared-resource count lower bound
+  int nr_max = 8;           //   ... upper bound (inclusive)
+  double u_avg = 1.5;       // average task utilization
+  double p_r = 0.5;         // probability a task uses each resource
+  int n_req_max = 50;       // N_{i,q} ~ U[1, n_req_max]
+  Time cs_min = micros(50); // L_{i,q} ~ U[cs_min, cs_max]
+  Time cs_max = micros(100);
+
+  /// e.g. "m=16 nr=[4,8] Uavg=1.5 pr=0.50 N=[1,50] L=[50,100]us"
+  std::string name() const;
+};
+
+/// All 216 scenario combinations, in a deterministic order.
+std::vector<Scenario> all_scenarios();
+
+/// The four Fig. 2 sub-figure scenarios:
+///  (a) m=16, nr=[4,8],  pr=0.5, U_avg=1.5   (b) m=32, nr=[8,16], pr=1, U_avg=1.5
+///  (c) m=16, nr=[4,8],  pr=0.5, U_avg=2     (d) m=32, nr=[8,16], pr=1, U_avg=2
+/// all with N in [1,50] and L in [50,100]us.
+Scenario fig2_scenario(char which);  // 'a'..'d'
+
+/// Total-utilization sweep for a scenario: 1, 1+0.05m, 1+0.10m, ..., <= m,
+/// always including m itself.
+std::vector<double> utilization_grid(const Scenario& s);
+
+}  // namespace dpcp

@@ -1,0 +1,184 @@
+#include "gen/taskset_gen.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "gen/erdos_renyi.hpp"
+
+namespace dpcp {
+namespace {
+
+struct UsageDraw {
+  std::vector<int> n;    // N_{i,q} (0 = unused)
+  std::vector<Time> len; // L_{i,q}
+  Time demand() const {
+    Time d = 0;
+    for (std::size_t q = 0; q < n.size(); ++q)
+      d += static_cast<Time>(n[q]) * len[q];
+    return d;
+  }
+};
+
+UsageDraw draw_usage(Rng& rng, const Scenario& sc, int nr) {
+  UsageDraw u;
+  u.n.assign(static_cast<std::size_t>(nr), 0);
+  u.len.assign(static_cast<std::size_t>(nr), 0);
+  for (int q = 0; q < nr; ++q) {
+    if (!rng.bernoulli(sc.p_r)) continue;
+    u.n[q] = static_cast<int>(rng.uniform_int(1, sc.n_req_max));
+    u.len[q] = rng.uniform_int(sc.cs_min, sc.cs_max);
+  }
+  return u;
+}
+
+/// Shrinks request counts until the critical-section demand fits in
+/// `budget`; drops whole resources as a last resort.  Keeps the draw's
+/// proportions roughly intact.
+void clamp_usage(UsageDraw& u, Time budget, GenStats& stats) {
+  if (u.demand() <= budget) return;
+  ++stats.usage_downscales;
+  const double scale =
+      static_cast<double>(budget) / static_cast<double>(u.demand());
+  for (std::size_t q = 0; q < u.n.size(); ++q) {
+    if (u.n[q] == 0) continue;
+    u.n[q] = std::max(
+        1, static_cast<int>(std::floor(u.n[q] * scale)));
+  }
+  // Still over budget (the >=1 floors can overshoot): drop resources with
+  // the largest demand until it fits.
+  while (u.demand() > budget) {
+    std::size_t worst = 0;
+    Time worst_d = -1;
+    for (std::size_t q = 0; q < u.n.size(); ++q) {
+      const Time d = static_cast<Time>(u.n[q]) * u.len[q];
+      if (d > worst_d) {
+        worst_d = d;
+        worst = q;
+      }
+    }
+    if (worst_d <= 0) break;
+    u.n[worst] = 0;
+    u.len[worst] = 0;
+  }
+}
+
+/// Builds one task with the given utilization; respects the plausibility
+/// constraints by bounded resampling.
+std::optional<DagTask> generate_task(Rng& rng, const GenParams& p,
+                                     int nr, double util, GenStats& stats) {
+  const Scenario& sc = p.scenario;
+  const Time T = rng.log_uniform_time(p.period_min, p.period_max);
+  const Time D = T;  // implicit deadline instance of the constrained model
+  const Time C = std::max<Time>(1, std::llround(util * static_cast<double>(T)));
+
+  for (int attempt = 0; attempt < p.max_task_retries; ++attempt) {
+    if (attempt > 0) ++stats.task_retries;
+    const bool last_resort = attempt + 2 >= p.max_task_retries;
+
+    const int nv =
+        static_cast<int>(rng.uniform_int(p.vertices_min, p.vertices_max));
+    UsageDraw usage = draw_usage(rng, sc, nr);
+
+    // Feasibility: C' = C - sum N*L must leave every vertex a minimum
+    // non-critical slice.  Resample first; clamp when retries run short.
+    const Time floor_need = static_cast<Time>(nv) * p.min_vertex_slice;
+    if (usage.demand() + floor_need > C) {
+      if (attempt * 2 < p.max_task_retries) continue;
+      clamp_usage(usage, C - floor_need, stats);
+      if (usage.demand() + floor_need > C) continue;
+    }
+
+    // Last-resort structure: an edgeless DAG caps L* at the heaviest single
+    // vertex, which the even spread below keeps < D/2.
+    Dag dag = last_resort ? Dag(nv) : erdos_renyi_dag(rng, nv, p.edge_prob);
+
+    // Spread the N_{i,q} requests over vertices by uniform composition.
+    std::vector<std::vector<std::int64_t>> req_of(usage.n.size());
+    for (std::size_t q = 0; q < usage.n.size(); ++q)
+      if (usage.n[q] > 0)
+        req_of[q] = rng.composition(usage.n[q], static_cast<std::size_t>(nv));
+
+    // Vertex WCET = own CS demand + min slice + share of the remaining C'.
+    const Time spread = C - usage.demand() - floor_need;
+    std::vector<std::int64_t> share =
+        last_resort ? std::vector<std::int64_t>(
+                          static_cast<std::size_t>(nv), spread / nv)
+                    : rng.composition(spread, static_cast<std::size_t>(nv));
+    if (last_resort) {
+      // Hand the rounding remainder to vertex 0 to keep sum C exact.
+      share[0] += spread - (spread / nv) * nv;
+    }
+
+    DagTask task(-1, T, D, nr);
+    for (int x = 0; x < nv; ++x) {
+      std::vector<int> reqs(usage.n.size(), 0);
+      Time cs_x = 0;
+      for (std::size_t q = 0; q < usage.n.size(); ++q) {
+        if (usage.n[q] == 0) continue;
+        reqs[q] = static_cast<int>(req_of[q][static_cast<std::size_t>(x)]);
+        cs_x += static_cast<Time>(reqs[q]) * usage.len[q];
+      }
+      const Time wcet =
+          cs_x + p.min_vertex_slice + share[static_cast<std::size_t>(x)];
+      const VertexId v = task.add_vertex(wcet, std::move(reqs));
+      (void)v;
+    }
+    // add_vertex grew an edgeless graph of the right size; install the
+    // generated structure over it.
+    task.graph() = std::move(dag);
+    for (std::size_t q = 0; q < usage.len.size(); ++q)
+      task.set_cs_length(static_cast<ResourceId>(q), usage.len[q]);
+    task.finalize();
+
+    if (task.longest_path_length() >= D / 2) continue;  // L* < D/2 (paper)
+    assert(task.wcet() == C);
+    return task;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<TaskSet> generate_taskset(Rng& rng, const GenParams& params,
+                                        GenStats* stats) {
+  GenStats local;
+  GenStats& st = stats ? *stats : local;
+  const Scenario& sc = params.scenario;
+
+  const int nr = static_cast<int>(rng.uniform_int(sc.nr_min, sc.nr_max));
+  const int n = choose_task_count(params.total_utilization, sc.u_avg);
+  const double hi = 2.0 * sc.u_avg;
+  // Clamp the target into the feasible simplex (the U=1 grid start yields
+  // n=1 whose single utilization is exactly 1.0).
+  const double sum = std::clamp(params.total_utilization,
+                                static_cast<double>(n), n * hi);
+  const std::vector<double> utils =
+      rand_fixed_sum(rng, n, sum, 1.0, hi, &st.rfs);
+
+  TaskSet ts(nr);
+  for (double u : utils) {
+    auto task = generate_task(rng, params, nr, u, st);
+    if (!task) {
+      ++st.failures;
+      return std::nullopt;
+    }
+    ts.adopt_task(std::move(*task));
+  }
+  for (int k = 0; k < params.light_tasks; ++k) {
+    const double u =
+        rng.uniform_real(params.light_util_min, params.light_util_max);
+    auto task = generate_task(rng, params, nr, u, st);
+    if (!task) {
+      ++st.failures;
+      return std::nullopt;
+    }
+    ts.adopt_task(std::move(*task));
+  }
+  ts.assign_rm_priorities();
+  ts.finalize();
+  assert(!ts.validate().has_value());
+  return ts;
+}
+
+}  // namespace dpcp

@@ -1,0 +1,305 @@
+#include "io/taskset_io.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+namespace dpcp {
+namespace {
+
+/// Tokenised view of one input line plus error reporting context.
+class LineReader {
+ public:
+  explicit LineReader(const std::string& text) : input_(text) {}
+
+  /// Advances to the next non-empty, non-comment line; false at EOF.
+  bool next() {
+    std::string raw;
+    while (std::getline(input_, raw)) {
+      ++line_no_;
+      const auto hash = raw.find('#');
+      if (hash != std::string::npos) raw.erase(hash);
+      tokens_.clear();
+      std::istringstream ls(raw);
+      std::string tok;
+      while (ls >> tok) tokens_.push_back(tok);
+      if (!tokens_.empty()) return true;
+    }
+    return false;
+  }
+
+  const std::vector<std::string>& tokens() const { return tokens_; }
+  int line() const { return line_no_; }
+
+  std::string err(const std::string& what) const {
+    return "line " + std::to_string(line_no_) + ": " + what;
+  }
+
+ private:
+  std::istringstream input_;
+  std::vector<std::string> tokens_;
+  int line_no_ = 0;
+};
+
+bool parse_i64(const std::string& tok, std::int64_t* out) {
+  char* end = nullptr;
+  const long long v = std::strtoll(tok.c_str(), &end, 10);
+  if (end == tok.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool parse_int(const std::string& tok, int* out) {
+  std::int64_t v;
+  if (!parse_i64(tok, &v) || v < INT32_MIN || v > INT32_MAX) return false;
+  *out = static_cast<int>(v);
+  return true;
+}
+
+void set_error(std::string* error, const std::string& message) {
+  if (error) *error = message;
+}
+
+}  // namespace
+
+std::string taskset_to_text(const TaskSet& ts) {
+  std::ostringstream os;
+  os << "dpcp-taskset v1\n";
+  os << "resources " << ts.num_resources() << "\n";
+  for (int i = 0; i < ts.size(); ++i) {
+    const DagTask& t = ts.task(i);
+    os << "task period " << t.period() << " deadline " << t.deadline()
+       << "\n";
+    for (ResourceId q = 0; q < ts.num_resources(); ++q)
+      if (t.usage(q).cs_length > 0)
+        os << "  cs " << q << ' ' << t.usage(q).cs_length << "\n";
+    for (VertexId v = 0; v < t.vertex_count(); ++v) {
+      os << "  vertex " << t.vertex(v).wcet;
+      bool any = false;
+      for (ResourceId q = 0; q < ts.num_resources(); ++q) {
+        if (t.vertex(v).requests_to(q) == 0) continue;
+        os << (any ? " " : " requests ") << q << ':'
+           << t.vertex(v).requests_to(q);
+        any = true;
+      }
+      os << "\n";
+    }
+    for (VertexId v = 0; v < t.vertex_count(); ++v)
+      for (VertexId w : t.graph().successors(v))
+        os << "  edge " << v << ' ' << w << "\n";
+    os << "end\n";
+  }
+  return os.str();
+}
+
+std::optional<TaskSet> taskset_from_text(const std::string& text,
+                                         std::string* error) {
+  LineReader in(text);
+  if (!in.next() || in.tokens() !=
+                        std::vector<std::string>{"dpcp-taskset", "v1"}) {
+    set_error(error, in.err("expected header 'dpcp-taskset v1'"));
+    return std::nullopt;
+  }
+  if (!in.next() || in.tokens().size() != 2 ||
+      in.tokens()[0] != "resources") {
+    set_error(error, in.err("expected 'resources <count>'"));
+    return std::nullopt;
+  }
+  int nr = 0;
+  if (!parse_int(in.tokens()[1], &nr) || nr < 0) {
+    set_error(error, in.err("bad resource count"));
+    return std::nullopt;
+  }
+
+  TaskSet ts(nr);
+  while (in.next()) {
+    const auto& t0 = in.tokens();
+    if (t0[0] != "task" || t0.size() != 5 || t0[1] != "period" ||
+        t0[3] != "deadline") {
+      set_error(error, in.err("expected 'task period <T> deadline <D>'"));
+      return std::nullopt;
+    }
+    std::int64_t period = 0, deadline = 0;
+    if (!parse_i64(t0[2], &period) || !parse_i64(t0[4], &deadline)) {
+      set_error(error, in.err("bad period/deadline"));
+      return std::nullopt;
+    }
+    DagTask task(-1, period, deadline, nr);
+
+    bool ended = false;
+    while (in.next()) {
+      const auto& t = in.tokens();
+      if (t[0] == "end") {
+        ended = true;
+        break;
+      }
+      if (t[0] == "cs") {
+        int q = 0;
+        std::int64_t len = 0;
+        if (t.size() != 3 || !parse_int(t[1], &q) || q < 0 || q >= nr ||
+            !parse_i64(t[2], &len) || len <= 0) {
+          set_error(error, in.err("bad 'cs <resource> <length>'"));
+          return std::nullopt;
+        }
+        task.set_cs_length(q, len);
+      } else if (t[0] == "vertex") {
+        std::int64_t wcet = 0;
+        if (t.size() < 2 || !parse_i64(t[1], &wcet) || wcet <= 0) {
+          set_error(error, in.err("bad 'vertex <wcet> ...'"));
+          return std::nullopt;
+        }
+        std::vector<int> requests(static_cast<std::size_t>(nr), 0);
+        std::size_t k = 2;
+        if (k < t.size()) {
+          if (t[k] != "requests") {
+            set_error(error, in.err("expected 'requests' after WCET"));
+            return std::nullopt;
+          }
+          for (++k; k < t.size(); ++k) {
+            const auto colon = t[k].find(':');
+            int q = 0, n = 0;
+            if (colon == std::string::npos ||
+                !parse_int(t[k].substr(0, colon), &q) ||
+                !parse_int(t[k].substr(colon + 1), &n) || q < 0 || q >= nr ||
+                n <= 0) {
+              set_error(error, in.err("bad request entry '" + t[k] + "'"));
+              return std::nullopt;
+            }
+            requests[static_cast<std::size_t>(q)] = n;
+          }
+        }
+        task.add_vertex(wcet, std::move(requests));
+      } else if (t[0] == "edge") {
+        int from = 0, to = 0;
+        if (t.size() != 3 || !parse_int(t[1], &from) ||
+            !parse_int(t[2], &to) || from < 0 || to < 0 ||
+            from >= task.vertex_count() || to >= task.vertex_count()) {
+          set_error(error, in.err("bad 'edge <from> <to>' (vertices must be "
+                                  "declared before edges)"));
+          return std::nullopt;
+        }
+        task.graph().add_edge(from, to);
+      } else {
+        set_error(error, in.err("unknown directive '" + t[0] + "'"));
+        return std::nullopt;
+      }
+    }
+    if (!ended) {
+      set_error(error, in.err("missing 'end' for task"));
+      return std::nullopt;
+    }
+    task.finalize();
+    ts.adopt_task(std::move(task));
+  }
+
+  ts.assign_rm_priorities();
+  ts.finalize();
+  if (auto err = ts.validate()) {
+    set_error(error, "invalid task set: " + *err);
+    return std::nullopt;
+  }
+  return ts;
+}
+
+std::string partition_to_text(const Partition& part) {
+  std::ostringstream os;
+  os << "dpcp-partition v1\n";
+  os << "processors " << part.num_processors() << "\n";
+  os << "tasks " << part.num_tasks() << "\n";
+  os << "nresources " << part.num_resources() << "\n";
+  for (int i = 0; i < part.num_tasks(); ++i) {
+    os << "cluster " << i;
+    for (ProcessorId p : part.cluster(i)) os << ' ' << p;
+    os << "\n";
+  }
+  for (ResourceId q = 0; q < part.num_resources(); ++q)
+    if (part.processor_of_resource(q) != Partition::kUnassigned)
+      os << "resource " << q << ' ' << part.processor_of_resource(q) << "\n";
+  return os.str();
+}
+
+std::optional<Partition> partition_from_text(const std::string& text,
+                                             std::string* error) {
+  LineReader in(text);
+  if (!in.next() || in.tokens() !=
+                        std::vector<std::string>{"dpcp-partition", "v1"}) {
+    set_error(error, in.err("expected header 'dpcp-partition v1'"));
+    return std::nullopt;
+  }
+  int m = 0, tasks = 0, nr = 0;
+  auto read_scalar = [&](const char* key, int* out) {
+    if (!in.next() || in.tokens().size() != 2 || in.tokens()[0] != key ||
+        !parse_int(in.tokens()[1], out) || *out < 0) {
+      set_error(error, in.err(std::string("expected '") + key + " <n>'"));
+      return false;
+    }
+    return true;
+  };
+  if (!read_scalar("processors", &m) || !read_scalar("tasks", &tasks) ||
+      !read_scalar("nresources", &nr))
+    return std::nullopt;
+
+  Partition part(m, tasks, nr);
+  while (in.next()) {
+    const auto& t = in.tokens();
+    if (t[0] == "cluster") {
+      int task = 0;
+      if (t.size() < 2 || !parse_int(t[1], &task) || task < 0 ||
+          task >= tasks) {
+        set_error(error, in.err("bad 'cluster <task> <procs...>'"));
+        return std::nullopt;
+      }
+      for (std::size_t k = 2; k < t.size(); ++k) {
+        int p = 0;
+        if (!parse_int(t[k], &p) || p < 0 || p >= m) {
+          set_error(error, in.err("bad processor id '" + t[k] + "'"));
+          return std::nullopt;
+        }
+        part.add_processor_to_task(task, p);
+      }
+    } else if (t[0] == "resource") {
+      int q = 0, p = 0;
+      if (t.size() != 3 || !parse_int(t[1], &q) || q < 0 || q >= nr ||
+          !parse_int(t[2], &p) || p < 0 || p >= m) {
+        set_error(error, in.err("bad 'resource <q> <proc>'"));
+        return std::nullopt;
+      }
+      part.assign_resource(q, p);
+    } else {
+      set_error(error, in.err("unknown directive '" + t[0] + "'"));
+      return std::nullopt;
+    }
+  }
+  return part;
+}
+
+bool write_text_file(const std::string& path, const std::string& content,
+                     std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    set_error(error, "cannot open '" + path + "' for writing");
+    return false;
+  }
+  const bool ok =
+      std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  std::fclose(f);
+  if (!ok) set_error(error, "short write to '" + path + "'");
+  return ok;
+}
+
+std::optional<std::string> read_text_file(const std::string& path,
+                                          std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (!f) {
+    set_error(error, "cannot open '" + path + "'");
+    return std::nullopt;
+  }
+  std::string out;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+}  // namespace dpcp

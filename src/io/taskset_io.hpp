@@ -1,0 +1,52 @@
+// Plain-text serialization for task sets and partitions.
+//
+// A small, line-oriented, versioned format so workloads can be stored,
+// diffed, shared and replayed (e.g. generate once, analyse with every
+// protocol, simulate later).  Times are raw nanosecond integers.
+//
+//   dpcp-taskset v1
+//   resources 2
+//   task period 20 deadline 20
+//     cs 0 3
+//     cs 1 2
+//     vertex 2
+//     vertex 3 requests 0:1
+//     edge 0 1
+//   end
+//   ...
+//
+//   dpcp-partition v1
+//   processors 4
+//   cluster 0 0 1
+//   cluster 1 2 3
+//   resource 0 1
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "model/taskset.hpp"
+#include "partition/partition.hpp"
+
+namespace dpcp {
+
+/// Serializes a task set (priorities are not stored; they are re-derived
+/// by Rate-Monotonic assignment on load, matching the paper's setup).
+std::string taskset_to_text(const TaskSet& ts);
+
+/// Parses a task set; on failure returns nullopt and, when `error` is
+/// non-null, a line-numbered description of the first problem.
+std::optional<TaskSet> taskset_from_text(const std::string& text,
+                                         std::string* error = nullptr);
+
+std::string partition_to_text(const Partition& part);
+std::optional<Partition> partition_from_text(const std::string& text,
+                                             std::string* error = nullptr);
+
+/// File convenience wrappers (thin fopen/fread shims over the above).
+bool write_text_file(const std::string& path, const std::string& content,
+                     std::string* error = nullptr);
+std::optional<std::string> read_text_file(const std::string& path,
+                                          std::string* error = nullptr);
+
+}  // namespace dpcp

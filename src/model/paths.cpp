@@ -1,0 +1,78 @@
+#include "model/paths.hpp"
+
+#include <cassert>
+#include <unordered_map>
+
+namespace dpcp {
+namespace {
+
+struct VecHash {
+  std::size_t operator()(const std::vector<int>& v) const {
+    std::size_t h = 0x811C9DC5u;
+    for (int x : v) {
+      h ^= static_cast<std::size_t>(x) + 0x9E3779B9u + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+class Enumerator {
+ public:
+  Enumerator(const DagTask& task, std::int64_t max_paths)
+      : task_(task), max_paths_(max_paths) {
+    result_.resource_index = task.used_resources();
+    current_.assign(result_.resource_index.size(), 0);
+  }
+
+  PathEnumResult run() {
+    for (VertexId head : task_.graph().heads()) {
+      if (result_.truncated) break;
+      dfs(head, 0);
+    }
+    result_.signatures.reserve(classes_.size());
+    for (auto& [vec, len] : classes_)
+      result_.signatures.push_back(PathSignature{len, vec});
+    return std::move(result_);
+  }
+
+ private:
+  void dfs(VertexId v, Time length_so_far) {
+    if (result_.truncated) return;
+    const Vertex& vx = task_.vertex(v);
+    const Time length = length_so_far + vx.wcet;
+    for (std::size_t k = 0; k < result_.resource_index.size(); ++k)
+      current_[k] += vx.requests_to(result_.resource_index[k]);
+
+    if (task_.graph().successors(v).empty()) {
+      ++result_.paths_visited;
+      auto [it, inserted] = classes_.emplace(current_, length);
+      if (!inserted && length > it->second) it->second = length;
+      if (result_.paths_visited >= max_paths_) result_.truncated = true;
+    } else {
+      for (VertexId w : task_.graph().successors(v)) {
+        dfs(w, length);
+        if (result_.truncated) break;
+      }
+    }
+
+    for (std::size_t k = 0; k < result_.resource_index.size(); ++k)
+      current_[k] -= vx.requests_to(result_.resource_index[k]);
+  }
+
+  const DagTask& task_;
+  const std::int64_t max_paths_;
+  std::vector<int> current_;
+  std::unordered_map<std::vector<int>, Time, VecHash> classes_;
+  PathEnumResult result_;
+};
+
+}  // namespace
+
+PathEnumResult enumerate_path_signatures(const DagTask& task,
+                                         std::int64_t max_paths) {
+  assert(max_paths > 0);
+  assert(task.graph().is_acyclic());
+  return Enumerator(task, max_paths).run();
+}
+
+}  // namespace dpcp

@@ -1,0 +1,47 @@
+// Complete-path enumeration for the DPCP-p-EP analysis.
+//
+// The per-path response-time bound of Theorem 1 depends on a path lambda
+// only through (i) its length L(lambda) and (ii) its per-resource on-path
+// request counts N^lambda_{i,q}.  Every bound term is monotonically
+// non-decreasing in L(lambda) for a fixed request vector, so among paths
+// with identical request vectors only the longest matters.  We therefore
+// enumerate *path signatures*: request-vector -> max path length.  This
+// collapses the (potentially huge) path space of dense DAGs to the set of
+// distinct request vectors, which is what the analysis cost actually
+// scales with.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/task.hpp"
+
+namespace dpcp {
+
+/// One equivalence class of complete paths of a task.
+struct PathSignature {
+  /// Max L(lambda) among the paths in the class.
+  Time length = 0;
+  /// requests[k] = N^lambda_{i,q} for q = task.used_resources()[k].
+  /// (Compressed to the task's used resources; unused resources are 0.)
+  std::vector<int> requests;
+};
+
+struct PathEnumResult {
+  std::vector<PathSignature> signatures;
+  /// Resource ids corresponding to positions of PathSignature::requests.
+  std::vector<ResourceId> resource_index;
+  /// Complete paths visited by the DFS (post-merging classes may be fewer).
+  std::int64_t paths_visited = 0;
+  /// True if enumeration stopped at `max_paths`; the result is then a
+  /// subset and the caller must fall back to a sound over-approximation
+  /// (the EN bound).
+  bool truncated = false;
+};
+
+/// Enumerates the complete (head -> tail) path signatures of `task`.
+/// `max_paths` bounds the DFS work.  The task must be finalized and valid.
+PathEnumResult enumerate_path_signatures(const DagTask& task,
+                                         std::int64_t max_paths = 200'000);
+
+}  // namespace dpcp

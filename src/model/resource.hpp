@@ -1,0 +1,25 @@
+// Shared-resource identifiers and per-task usage descriptors.
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.hpp"
+
+namespace dpcp {
+
+/// Dense id of a shared resource l_q, 0-based.
+using ResourceId = int;
+
+/// How one task uses one resource: the task issues at most `max_requests`
+/// (N_{i,q}) requests per job, each holding the resource for at most
+/// `cs_length` (L_{i,q}).  max_requests == 0 means "does not use it".
+struct ResourceUsage {
+  int max_requests = 0;  // N_{i,q}
+  Time cs_length = 0;    // L_{i,q}
+
+  bool used() const { return max_requests > 0; }
+  /// Total worst-case critical-section demand per job: N_{i,q} * L_{i,q}.
+  Time demand() const { return static_cast<Time>(max_requests) * cs_length; }
+};
+
+}  // namespace dpcp

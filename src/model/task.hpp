@@ -1,0 +1,109 @@
+// The sporadic parallel (DAG) task model of Sec. II.
+//
+// A DagTask owns its graph structure, per-vertex WCETs and per-vertex
+// request counts, plus the per-task resource-usage table (N_{i,q}, L_{i,q}).
+// Derived quantities (C_i, L*_i, C'_i, U_i) are computed on demand; the
+// class validates the paper's structural invariants in validate().
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/dag.hpp"
+#include "model/resource.hpp"
+#include "util/time.hpp"
+
+namespace dpcp {
+
+/// One DAG vertex v_{i,x}: WCET C_{i,x} (critical sections included) and the
+/// per-resource request counts N_{i,x,q} (dense over the task-set's
+/// resource ids; zero-filled).
+struct Vertex {
+  Time wcet = 0;                   // C_{i,x}
+  std::vector<int> requests;       // requests[q] = N_{i,x,q}
+
+  int requests_to(ResourceId q) const {
+    return q < static_cast<int>(requests.size()) ? requests[q] : 0;
+  }
+};
+
+class DagTask {
+ public:
+  DagTask() = default;
+  DagTask(int id, Time period, Time deadline, int num_resources)
+      : id_(id),
+        period_(period),
+        deadline_(deadline),
+        usage_(static_cast<std::size_t>(num_resources)) {}
+
+  // --- identity / scalar parameters -------------------------------------
+  int id() const { return id_; }
+  void set_id(int id) { id_ = id; }
+  Time period() const { return period_; }       // T_i
+  Time deadline() const { return deadline_; }   // D_i (constrained: D <= T)
+  /// Unique base priority pi_i; larger value = higher priority.
+  int priority() const { return priority_; }
+  void set_priority(int p) { priority_ = p; }
+
+  // --- structure ---------------------------------------------------------
+  Dag& graph() { return graph_; }
+  const Dag& graph() const { return graph_; }
+
+  /// Appends a vertex; `requests` may be shorter than num_resources.
+  VertexId add_vertex(Time wcet, std::vector<int> requests = {});
+
+  int vertex_count() const { return static_cast<int>(vertices_.size()); }
+  const Vertex& vertex(VertexId v) const { return vertices_[v]; }
+  Vertex& vertex(VertexId v) { return vertices_[v]; }
+  const std::vector<Vertex>& vertices() const { return vertices_; }
+
+  // --- resource usage ----------------------------------------------------
+  int num_resources() const { return static_cast<int>(usage_.size()); }
+  const ResourceUsage& usage(ResourceId q) const { return usage_[q]; }
+  /// Sets L_{i,q}; N_{i,q} is derived from the vertices in finalize().
+  void set_cs_length(ResourceId q, Time len) { usage_[q].cs_length = len; }
+  bool uses(ResourceId q) const { return usage_[q].used(); }
+  /// Resources with N_{i,q} > 0.
+  std::vector<ResourceId> used_resources() const;
+
+  /// Recomputes cached aggregates (C_i, L*_i, N_{i,q}) from the vertices.
+  /// Call after the structure is complete and before analysis.
+  void finalize();
+
+  // --- derived quantities (valid after finalize()) -----------------------
+  Time wcet() const { return wcet_; }                    // C_i
+  Time longest_path_length() const { return lstar_; }    // L*_i
+  double utilization() const {                           // U_i = C_i / T_i
+    return static_cast<double>(wcet_) / static_cast<double>(period_);
+  }
+  /// Total critical-section demand per job: sum_q N_{i,q} * L_{i,q}.
+  Time cs_demand() const;
+  /// Non-critical WCET C'_i = C_i - sum_q N_{i,q} L_{i,q}.
+  Time noncrit_wcet() const { return wcet_ - cs_demand(); }
+  /// Non-critical WCET of one vertex:
+  /// C'_{i,x} = C_{i,x} - sum_q N_{i,x,q} L_{i,q}.
+  Time vertex_noncrit_wcet(VertexId v) const;
+
+  /// Per-vertex WCETs in graph order (weights for path algorithms).
+  std::vector<Time> vertex_weights() const;
+
+  /// Checks the structural invariants of Sec. II / Sec. VII-A:
+  /// acyclic graph, positive parameters, D <= T,
+  /// C_{i,x} >= sum_q N_{i,x,q} * L_{i,q} for every vertex.
+  /// Returns an error description, or nullopt when valid.
+  std::optional<std::string> validate() const;
+
+ private:
+  int id_ = -1;
+  Time period_ = 0;
+  Time deadline_ = 0;
+  int priority_ = 0;
+  Dag graph_;
+  std::vector<Vertex> vertices_;
+  std::vector<ResourceUsage> usage_;
+  Time wcet_ = 0;
+  Time lstar_ = 0;
+};
+
+}  // namespace dpcp

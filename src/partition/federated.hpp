@@ -1,0 +1,28 @@
+// Federated scheduling processor allocation (Li et al., ECRTS 2014).
+//
+// Each heavy task tau_i (C_i > D_i) initially receives
+//   m_i = ceil((C_i - L*_i) / (D_i - L*_i))
+// dedicated processors, which guarantees L*_i + (C_i - L*_i)/m_i <= D_i
+// for work-conserving scheduling in the absence of resource blocking.
+#pragma once
+
+#include <optional>
+
+#include "model/taskset.hpp"
+#include "partition/partition.hpp"
+
+namespace dpcp {
+
+/// m_i for one task; requires L*_i < D_i.
+int min_federated_processors(const DagTask& task);
+
+/// Resource-oblivious federated response-time bound:
+/// L*_i + ceil((C_i - L*_i) / m_i)  for an m_i-processor cluster.
+Time federated_wcrt_bound(const DagTask& task, int cluster_size);
+
+/// Builds the initial partition: task i gets m_i fresh processors, in task
+/// order; remaining processors stay spare.  Returns nullopt when the
+/// platform is too small (Algorithm 1, lines 1-5).
+std::optional<Partition> initial_federated_partition(const TaskSet& ts, int m);
+
+}  // namespace dpcp

@@ -1,0 +1,79 @@
+#include "partition/partition.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dpcp {
+
+int Partition::task_of_processor(ProcessorId p) const {
+  for (int i = 0; i < num_tasks(); ++i) {
+    const auto& c = clusters_[static_cast<std::size_t>(i)];
+    if (std::find(c.begin(), c.end(), p) != c.end()) return i;
+  }
+  return -1;
+}
+
+std::vector<int> Partition::tasks_on_processor(ProcessorId p) const {
+  std::vector<int> out;
+  for (int i = 0; i < num_tasks(); ++i) {
+    const auto& c = clusters_[static_cast<std::size_t>(i)];
+    if (std::find(c.begin(), c.end(), p) != c.end()) out.push_back(i);
+  }
+  return out;
+}
+
+void Partition::set_cluster(int task, std::vector<ProcessorId> procs) {
+  clusters_[static_cast<std::size_t>(task)] = std::move(procs);
+}
+
+int Partition::assigned_processors() const {
+  std::vector<bool> used(static_cast<std::size_t>(m_), false);
+  for (const auto& c : clusters_)
+    for (ProcessorId p : c) used[static_cast<std::size_t>(p)] = true;
+  int total = 0;
+  for (bool u : used) total += u ? 1 : 0;
+  return total;
+}
+
+std::vector<ResourceId> Partition::resources_on_processor(ProcessorId p) const {
+  std::vector<ResourceId> out;
+  for (ResourceId q = 0; q < num_resources(); ++q)
+    if (resource_proc_[static_cast<std::size_t>(q)] == p) out.push_back(q);
+  return out;
+}
+
+std::vector<ResourceId> Partition::resources_colocated_with(ResourceId q) const {
+  const ProcessorId p = processor_of_resource(q);
+  if (p == kUnassigned) return {q};
+  return resources_on_processor(p);
+}
+
+std::vector<ResourceId> Partition::resources_on_cluster(int task) const {
+  std::vector<ResourceId> out;
+  for (ProcessorId p : cluster(task)) {
+    const auto on_p = resources_on_processor(p);
+    out.insert(out.end(), on_p.begin(), on_p.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string Partition::to_string() const {
+  std::ostringstream os;
+  os << "Partition(m=" << m_;
+  for (int i = 0; i < num_tasks(); ++i) {
+    os << "; tau" << i << "->{";
+    for (std::size_t k = 0; k < clusters_[static_cast<std::size_t>(i)].size(); ++k) {
+      if (k) os << ',';
+      os << clusters_[static_cast<std::size_t>(i)][k];
+    }
+    os << '}';
+  }
+  for (ResourceId q = 0; q < num_resources(); ++q)
+    if (resource_proc_[static_cast<std::size_t>(q)] != kUnassigned)
+      os << "; l" << q << "->p" << resource_proc_[static_cast<std::size_t>(q)];
+  os << ')';
+  return os.str();
+}
+
+}  // namespace dpcp

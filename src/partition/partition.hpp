@@ -1,0 +1,98 @@
+// Task and global-resource placement state (Sec. III-A / Sec. V).
+//
+// Under federated scheduling each heavy task owns a *cluster* of dedicated
+// processors; under DPCP-p every global resource is additionally pinned to
+// one processor (possibly inside some task's cluster), where an RPC-like
+// agent executes all requests to it.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+#include "model/taskset.hpp"
+
+namespace dpcp {
+
+using ProcessorId = int;
+
+class Partition {
+ public:
+  Partition() = default;
+  Partition(int num_processors, int num_tasks, int num_resources)
+      : m_(num_processors),
+        clusters_(static_cast<std::size_t>(num_tasks)),
+        resource_proc_(static_cast<std::size_t>(num_resources), kUnassigned) {}
+
+  static constexpr ProcessorId kUnassigned = -1;
+
+  int num_processors() const { return m_; }
+  int num_tasks() const { return static_cast<int>(clusters_.size()); }
+  int num_resources() const { return static_cast<int>(resource_proc_.size()); }
+
+  // --- task clusters -----------------------------------------------------
+  /// Processors dedicated to task i (the cluster of tau_i).
+  const std::vector<ProcessorId>& cluster(int task) const {
+    return clusters_[static_cast<std::size_t>(task)];
+  }
+  /// m_i.
+  int cluster_size(int task) const {
+    return static_cast<int>(cluster(task).size());
+  }
+  void add_processor_to_task(int task, ProcessorId p) {
+    assert(p >= 0 && p < m_);
+    clusters_[static_cast<std::size_t>(task)].push_back(p);
+  }
+  /// Task owning processor p, or -1 if p is spare.  If several (light)
+  /// tasks share p, the first by index is returned; prefer
+  /// tasks_on_processor() in mixed settings.
+  int task_of_processor(ProcessorId p) const;
+  /// All tasks whose cluster contains p (more than one only for shared
+  /// light-task processors, Sec. VI).
+  std::vector<int> tasks_on_processor(ProcessorId p) const;
+  /// True when more than one task is mapped to p.
+  bool processor_shared(ProcessorId p) const {
+    return tasks_on_processor(p).size() > 1;
+  }
+  /// True when any processor of task i's cluster is shared with another
+  /// task.  Shared tasks are the partitioned light tasks of Sec. VI and
+  /// are treated as sequential by analysis and simulator alike.
+  bool task_shares_processor(int task) const {
+    for (ProcessorId p : cluster(task))
+      if (processor_shared(p)) return true;
+    return false;
+  }
+  /// Replaces task i's cluster entirely (used when promoting a light task
+  /// from a shared processor to a dedicated one).
+  void set_cluster(int task, std::vector<ProcessorId> procs);
+  /// Total processors currently hosting at least one task.
+  int assigned_processors() const;
+
+  // --- resource placement -------------------------------------------------
+  ProcessorId processor_of_resource(ResourceId q) const {
+    return resource_proc_[static_cast<std::size_t>(q)];
+  }
+  void assign_resource(ResourceId q, ProcessorId p) {
+    assert(p >= 0 && p < m_);
+    resource_proc_[static_cast<std::size_t>(q)] = p;
+  }
+  /// Drops every resource placement (Algorithm 1's rollback step).
+  void clear_resource_assignment() {
+    std::fill(resource_proc_.begin(), resource_proc_.end(), kUnassigned);
+  }
+  /// Phi(p_k): resources placed on processor k.
+  std::vector<ResourceId> resources_on_processor(ProcessorId p) const;
+  /// Resources placed on the same processor as q (including q itself).
+  std::vector<ResourceId> resources_colocated_with(ResourceId q) const;
+  /// Phi^p(tau_i): resources placed on any processor of task i's cluster.
+  std::vector<ResourceId> resources_on_cluster(int task) const;
+
+  std::string to_string() const;
+
+ private:
+  int m_ = 0;
+  std::vector<std::vector<ProcessorId>> clusters_;
+  std::vector<ProcessorId> resource_proc_;
+};
+
+}  // namespace dpcp

@@ -1,0 +1,158 @@
+#include "partition/partitioner.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace dpcp {
+namespace {
+
+/// Task indices sorted by decreasing base priority.
+std::vector<int> priority_order(const TaskSet& ts) {
+  std::vector<int> order(static_cast<std::size_t>(ts.size()));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return ts.task(a).priority() > ts.task(b).priority();
+  });
+  return order;
+}
+
+bool place_resources(const TaskSet& ts, Partition& part,
+                     ResourcePlacement policy) {
+  switch (policy) {
+    case ResourcePlacement::kNone:
+      part.clear_resource_assignment();
+      return true;
+    case ResourcePlacement::kWfd:
+      return wfd_assign_resources(ts, part).feasible;
+    case ResourcePlacement::kFirstFitDecreasing:
+      return ffd_assign_resources(ts, part).feasible;
+  }
+  return false;
+}
+
+}  // namespace
+
+WfdOutcome ffd_assign_resources(const TaskSet& ts, Partition& part) {
+  WfdOutcome out;
+  out.processor_load.assign(static_cast<std::size_t>(part.num_processors()),
+                            0.0);
+  part.clear_resource_assignment();
+
+  const int n = ts.size();
+  std::vector<double> capacity(static_cast<std::size_t>(n));
+  std::vector<double> load(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    capacity[static_cast<std::size_t>(i)] =
+        static_cast<double>(part.cluster_size(i));
+    load[static_cast<std::size_t>(i)] = ts.task(i).utilization();
+  }
+
+  std::vector<ResourceId> globals = ts.global_resources();
+  std::sort(globals.begin(), globals.end(), [&](ResourceId a, ResourceId b) {
+    const double ua = ts.resource_utilization(a);
+    const double ub = ts.resource_utilization(b);
+    if (ua != ub) return ua > ub;
+    return a < b;
+  });
+
+  for (ResourceId q : globals) {
+    const double uq = ts.resource_utilization(q);
+    int chosen = -1;
+    for (int i = 0; i < n; ++i) {
+      if (part.cluster_size(i) == 0) continue;
+      if (load[static_cast<std::size_t>(i)] + uq <=
+          capacity[static_cast<std::size_t>(i)]) {
+        chosen = i;
+        break;
+      }
+    }
+    if (chosen < 0) {
+      out.feasible = false;
+      return out;
+    }
+    ProcessorId target = Partition::kUnassigned;
+    double target_load = 0.0;
+    for (ProcessorId p : part.cluster(chosen)) {
+      const double lp = out.processor_load[static_cast<std::size_t>(p)];
+      if (target == Partition::kUnassigned || lp < target_load) {
+        target = p;
+        target_load = lp;
+      }
+    }
+    part.assign_resource(q, target);
+    out.processor_load[static_cast<std::size_t>(target)] += uq;
+    load[static_cast<std::size_t>(chosen)] += uq;
+  }
+  out.feasible = true;
+  return out;
+}
+
+PartitionOutcome partition_and_analyze(const TaskSet& ts, int m,
+                                       const WcrtOracle& oracle,
+                                       const PartitionOptions& options) {
+  PartitionOutcome out;
+  out.wcrt.assign(static_cast<std::size_t>(ts.size()), kTimeInfinity);
+
+  auto initial = initial_federated_partition(ts, m);
+  if (!initial) {
+    out.failure = "initial federated allocation does not fit";
+    out.partition = Partition(m, ts.size(), ts.num_resources());
+    return out;
+  }
+  Partition part = std::move(*initial);
+  ProcessorId next_spare = part.assigned_processors();
+
+  const std::vector<int> order = priority_order(ts);
+
+  // Each round consumes at least one spare processor, so the loop runs at
+  // most m - sum(m_i) + 1 <= m - 2n + 1 times for all-heavy sets (Sec. V).
+  while (true) {
+    ++out.rounds;
+    if (!place_resources(ts, part, options.placement)) {
+      out.failure = "resource placement infeasible";
+      out.partition = std::move(part);
+      return out;
+    }
+
+    // Response-time hints: D_j until a bound is computed this round.
+    std::vector<Time> hint(static_cast<std::size_t>(ts.size()));
+    for (int j = 0; j < ts.size(); ++j)
+      hint[static_cast<std::size_t>(j)] = ts.task(j).deadline();
+
+    bool all_ok = true;
+    for (int i : order) {
+      const auto r = oracle(ts, part, i, hint);
+      if (r && *r <= ts.task(i).deadline()) {
+        hint[static_cast<std::size_t>(i)] = *r;
+        out.wcrt[static_cast<std::size_t>(i)] = *r;
+        continue;
+      }
+      // Unschedulable task: grant one spare processor and restart.  A
+      // task on a *shared* processor (partitioned light task, Sec. VI) is
+      // sequential, so extra processors cannot help it; instead it is
+      // promoted to a dedicated spare.  Tasks with dedicated clusters
+      // grow by one processor as in Algorithm 1.
+      all_ok = false;
+      if (next_spare >= m) {
+        out.failure = "no spare processor left for task " +
+                      std::to_string(ts.task(i).id());
+        out.partition = std::move(part);
+        return out;
+      }
+      if (part.task_shares_processor(i)) {
+        part.set_cluster(i, {next_spare++});
+      } else {
+        part.add_processor_to_task(i, next_spare++);
+      }
+      break;  // rollback happens on re-entry via place_resources()
+    }
+    if (all_ok) {
+      out.schedulable = true;
+      out.partition = std::move(part);
+      return out;
+    }
+  }
+}
+
+}  // namespace dpcp

@@ -1,0 +1,62 @@
+// Iterative task and resource partitioning (Algorithm 1 of the paper).
+//
+// The loop is generic over the schedulability analysis: a WCRT oracle maps
+// (task set, partition, task index, response-time hints) to a bound.  This
+// keeps the partition library independent of the analysis library; each
+// locking protocol plugs its own analysis in.
+//
+//   1. Give every task its minimum federated cluster; fail if they do not
+//      fit on m processors.
+//   2. Place global resources by WFD (protocols with remote execution only).
+//   3. Analyse tasks in decreasing priority order.  On the first failure,
+//      grant that task one spare processor, roll the resource placement
+//      back, and restart from step 2; fail when no spare remains.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "model/taskset.hpp"
+#include "partition/federated.hpp"
+#include "partition/partition.hpp"
+#include "partition/wfd.hpp"
+
+namespace dpcp {
+
+/// WCRT bound of `task` under `part`.  `wcrt_hint[j]` is the response-time
+/// bound to assume for every other task j (the caller maintains computed
+/// bounds for higher-priority tasks and D_j for the rest).  Returns nullopt
+/// when the bound exceeds the deadline or the recurrence diverges.
+using WcrtOracle = std::function<std::optional<Time>(
+    const TaskSet& ts, const Partition& part, int task,
+    const std::vector<Time>& wcrt_hint)>;
+
+/// Resource-placement policy; WFD is the paper's Algorithm 2, FIRST_FIT is
+/// an ablation baseline (decreasing utilization, first cluster that fits).
+enum class ResourcePlacement { kNone, kWfd, kFirstFitDecreasing };
+
+struct PartitionOutcome {
+  bool schedulable = false;
+  /// Final placement (valid also on failure, for diagnostics).
+  Partition partition;
+  /// Per-task WCRT bounds; kTimeInfinity where analysis failed.
+  std::vector<Time> wcrt;
+  /// Outer rounds executed (processor-grant iterations + 1).
+  int rounds = 0;
+  /// Why the set was rejected (empty when schedulable).
+  std::string failure;
+};
+
+struct PartitionOptions {
+  ResourcePlacement placement = ResourcePlacement::kWfd;
+};
+
+PartitionOutcome partition_and_analyze(const TaskSet& ts, int m,
+                                       const WcrtOracle& oracle,
+                                       const PartitionOptions& options = {});
+
+/// First-fit-decreasing placement used by the ablation study.
+WfdOutcome ffd_assign_resources(const TaskSet& ts, Partition& part);
+
+}  // namespace dpcp

@@ -1,0 +1,74 @@
+#include "partition/wfd.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dpcp {
+
+WfdOutcome wfd_assign_resources(const TaskSet& ts, Partition& part) {
+  WfdOutcome out;
+  out.processor_load.assign(static_cast<std::size_t>(part.num_processors()),
+                            0.0);
+  part.clear_resource_assignment();
+
+  // Cluster capacity is its processor count; utilization starts at the
+  // task's own utilization and accumulates placed resources.  (Algorithm 2
+  // line 3 initialises the capacity; the cluster utilization definition is
+  // given in Sec. V.)
+  const int n = ts.size();
+  std::vector<double> capacity(static_cast<std::size_t>(n));
+  std::vector<double> load(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    capacity[static_cast<std::size_t>(i)] =
+        static_cast<double>(part.cluster_size(i));
+    load[static_cast<std::size_t>(i)] = ts.task(i).utilization();
+  }
+
+  std::vector<ResourceId> globals = ts.global_resources();
+  std::sort(globals.begin(), globals.end(), [&](ResourceId a, ResourceId b) {
+    const double ua = ts.resource_utilization(a);
+    const double ub = ts.resource_utilization(b);
+    if (ua != ub) return ua > ub;  // non-increasing utilization
+    return a < b;                  // deterministic tie-break
+  });
+
+  for (ResourceId q : globals) {
+    const double uq = ts.resource_utilization(q);
+    // Cluster with maximum slack.
+    int best = -1;
+    double best_slack = -1.0;
+    for (int i = 0; i < n; ++i) {
+      if (part.cluster_size(i) == 0) continue;
+      const double slack = capacity[static_cast<std::size_t>(i)] -
+                           load[static_cast<std::size_t>(i)];
+      if (slack > best_slack) {
+        best_slack = slack;
+        best = i;
+      }
+    }
+    if (best < 0 ||
+        load[static_cast<std::size_t>(best)] + uq >
+            capacity[static_cast<std::size_t>(best)]) {
+      out.feasible = false;
+      return out;
+    }
+    // Within the cluster: processor with the least resource utilization.
+    ProcessorId target = Partition::kUnassigned;
+    double target_load = 0.0;
+    for (ProcessorId p : part.cluster(best)) {
+      const double lp = out.processor_load[static_cast<std::size_t>(p)];
+      if (target == Partition::kUnassigned || lp < target_load) {
+        target = p;
+        target_load = lp;
+      }
+    }
+    assert(target != Partition::kUnassigned);
+    part.assign_resource(q, target);
+    out.processor_load[static_cast<std::size_t>(target)] += uq;
+    load[static_cast<std::size_t>(best)] += uq;
+  }
+  out.feasible = true;
+  return out;
+}
+
+}  // namespace dpcp

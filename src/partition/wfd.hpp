@@ -1,0 +1,28 @@
+// Worst-Fit-Decreasing global-resource placement (Algorithm 2 of the paper).
+//
+// Global resources are sorted by decreasing utilization
+// u^Phi_q = sum_j N_{j,q} L_{j,q} / T_j and placed one by one: each goes to
+// the cluster with the largest utilization slack (capacity m_x minus the
+// task's utilization minus the resources already placed there), and within
+// that cluster to the processor carrying the least resource utilization.
+// Placement is infeasible when the best cluster would overflow its
+// capacity.
+#pragma once
+
+#include "model/taskset.hpp"
+#include "partition/partition.hpp"
+
+namespace dpcp {
+
+struct WfdOutcome {
+  bool feasible = false;
+  /// Resource utilization placed on each processor (diagnostics).
+  std::vector<double> processor_load;
+};
+
+/// Places every global resource of `ts` onto a processor of `part`
+/// (clearing any previous placement first).  Cluster membership is not
+/// modified.  Returns feasibility per Algorithm 2.
+WfdOutcome wfd_assign_resources(const TaskSet& ts, Partition& part);
+
+}  // namespace dpcp

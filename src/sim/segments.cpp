@@ -1,0 +1,81 @@
+#include "sim/segments.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace dpcp {
+namespace {
+
+VertexPlan build_vertex_plan(const DagTask& task, VertexId x, double scale) {
+  const Vertex& v = task.vertex(x);
+  VertexPlan plan;
+
+  // Gather this vertex's critical sections, round-robin over resources so
+  // repeated requests to the same resource are spread out.
+  std::vector<Segment> sections;
+  std::vector<int> left(static_cast<std::size_t>(task.num_resources()), 0);
+  int remaining = 0;
+  for (ResourceId q = 0; q < task.num_resources(); ++q) {
+    left[static_cast<std::size_t>(q)] = v.requests_to(q);
+    remaining += v.requests_to(q);
+  }
+  while (remaining > 0) {
+    for (ResourceId q = 0; q < task.num_resources(); ++q) {
+      if (left[static_cast<std::size_t>(q)] == 0) continue;
+      --left[static_cast<std::size_t>(q)];
+      --remaining;
+      sections.push_back(
+          Segment{true, q, task.usage(q).cs_length});
+    }
+  }
+
+  const Time noncrit = task.vertex_noncrit_wcet(x);
+  assert(noncrit >= 0);
+  const std::size_t slots = sections.size() + 1;
+  const Time slice = noncrit / static_cast<Time>(slots);
+  Time leftover = noncrit - slice * static_cast<Time>(slots);
+
+  auto push_noncrit = [&](Time extra) {
+    const Time len = slice + extra;
+    if (len > 0) plan.segments.push_back(Segment{false, -1, len});
+  };
+  push_noncrit(leftover);  // fold the remainder into the first slice
+  for (const Segment& cs : sections) {
+    plan.segments.push_back(cs);
+    push_noncrit(0);
+  }
+
+  if (scale < 1.0) {
+    for (auto& s : plan.segments)
+      s.length = std::max<Time>(
+          s.critical ? 1 : 0,
+          static_cast<Time>(std::llround(static_cast<double>(s.length) * scale)));
+    plan.segments.erase(
+        std::remove_if(plan.segments.begin(), plan.segments.end(),
+                       [](const Segment& s) { return s.length == 0; }),
+        plan.segments.end());
+  }
+  if (plan.segments.empty())
+    plan.segments.push_back(Segment{false, -1, 1});  // keep vertex observable
+  return plan;
+}
+
+}  // namespace
+
+std::vector<TaskPlan> build_plans(const TaskSet& ts, double execution_scale) {
+  assert(execution_scale > 0.0 && execution_scale <= 1.0);
+  std::vector<TaskPlan> plans;
+  plans.reserve(static_cast<std::size_t>(ts.size()));
+  for (int i = 0; i < ts.size(); ++i) {
+    const DagTask& t = ts.task(i);
+    TaskPlan tp;
+    tp.vertices.reserve(static_cast<std::size_t>(t.vertex_count()));
+    for (VertexId x = 0; x < t.vertex_count(); ++x)
+      tp.vertices.push_back(build_vertex_plan(t, x, execution_scale));
+    plans.push_back(std::move(tp));
+  }
+  return plans;
+}
+
+}  // namespace dpcp

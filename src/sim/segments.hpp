@@ -1,0 +1,45 @@
+// Execution plans: the per-vertex alternation of non-critical segments and
+// critical sections that the simulator executes.
+//
+// The analysis model only fixes, per vertex, the WCET C_{i,x} and the
+// request counts N_{i,x,q}; the simulator needs a concrete layout.  We
+// interleave the vertex's critical sections (round-robin over its
+// resources, each of worst-case length L_{i,q}) with equal slices of its
+// non-critical work.  Worst-case lengths make the simulated behaviour an
+// admissible run of the analysed model, so every analysis bound must cover
+// the observed response times.
+#pragma once
+
+#include <vector>
+
+#include "model/taskset.hpp"
+#include "util/rng.hpp"
+
+namespace dpcp {
+
+struct Segment {
+  bool critical = false;
+  ResourceId resource = -1;  // valid iff critical
+  Time length = 0;
+};
+
+struct VertexPlan {
+  std::vector<Segment> segments;
+  Time total() const {
+    Time t = 0;
+    for (const auto& s : segments) t += s.length;
+    return t;
+  }
+};
+
+struct TaskPlan {
+  std::vector<VertexPlan> vertices;
+};
+
+/// Builds worst-case plans for every task.  `execution_scale` in (0, 1]
+/// shortens all segments proportionally (zero-length segments are dropped;
+/// a vertex always keeps at least one segment so it remains observable).
+std::vector<TaskPlan> build_plans(const TaskSet& ts,
+                                  double execution_scale = 1.0);
+
+}  // namespace dpcp

@@ -1,0 +1,60 @@
+// Fixed-point solver for response-time-analysis (RTA) recurrences.
+//
+// The schedulability analysis of Sec. IV repeatedly solves equations of the
+// form  x = f(x)  where f is monotonically non-decreasing and
+// right-continuous in x (request response time W_{i,q} of Lemma 2, and the
+// outer path response time of Theorem 1 whose blocking terms depend on the
+// response time through eta()).  Standard Kleene iteration from a lower
+// starting point converges to the least fixed point or crosses the cap.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+#include "util/time.hpp"
+
+namespace dpcp {
+
+struct FixedPointResult {
+  /// Least fixed point if one was found at or below the cap.
+  std::optional<Time> value;
+  /// Number of iterations performed.
+  int iterations = 0;
+  /// True if iteration was abandoned because the iterate exceeded the cap.
+  bool exceeded_cap = false;
+};
+
+/// Iterate x_{k+1} = f(x_k) from `start` until x stabilises or exceeds
+/// `cap`.  `f` must be non-decreasing; `start` must satisfy start <= f(start)
+/// for least-fixed-point semantics (the analyses start from the
+/// no-interference lower bound, which does).
+template <typename F>
+FixedPointResult solve_fixed_point(F&& f, Time start, Time cap,
+                                   int max_iterations = 10'000) {
+  FixedPointResult r;
+  Time x = start;
+  for (r.iterations = 0; r.iterations < max_iterations; ++r.iterations) {
+    if (x > cap) {
+      r.exceeded_cap = true;
+      return r;
+    }
+    const Time next = f(x);
+    if (next == x) {
+      r.value = x;
+      return r;
+    }
+    // Monotone f and x0 <= f(x0) imply a non-decreasing orbit; a decrease
+    // signals a non-monotone f, which would make the bound unsound.
+    if (next < x) {
+      r.value = next <= cap ? std::optional<Time>(next) : std::nullopt;
+      r.exceeded_cap = next > cap;
+      return r;
+    }
+    x = next;
+  }
+  r.exceeded_cap = true;  // treat non-termination as divergence
+  return r;
+}
+
+}  // namespace dpcp

@@ -1,0 +1,29 @@
+#include "util/rng.hpp"
+
+namespace dpcp {
+
+std::vector<std::int64_t> Rng::composition(std::int64_t total,
+                                           std::size_t parts) {
+  assert(parts > 0);
+  assert(total >= 0);
+  std::vector<std::int64_t> out(parts, 0);
+  if (total == 0) return out;
+  if (parts == 1) {
+    out[0] = total;
+    return out;
+  }
+  // Choose parts-1 cut points uniformly in [0, total] (with repetition);
+  // gaps between sorted cuts form a uniform weak composition.
+  std::vector<std::int64_t> cuts(parts - 1);
+  for (auto& c : cuts) c = uniform_int(0, total);
+  std::sort(cuts.begin(), cuts.end());
+  std::int64_t prev = 0;
+  for (std::size_t i = 0; i + 1 < parts; ++i) {
+    out[i] = cuts[i] - prev;
+    prev = cuts[i];
+  }
+  out[parts - 1] = total - prev;
+  return out;
+}
+
+}  // namespace dpcp

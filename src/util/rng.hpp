@@ -1,0 +1,95 @@
+// Seeded random-number facility for task-set synthesis and simulation.
+//
+// A thin, value-semantic wrapper over std::mt19937_64 so that every
+// generator in the code base draws from an explicitly seeded stream --
+// experiments are reproducible from a single seed, and sub-streams can be
+// forked deterministically (one per task set) so sample i is identical no
+// matter how many worker threads produced it.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace dpcp {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull)
+      : engine_(seed), seed_(seed) {}
+
+  /// Deterministically derive an independent sub-stream (e.g. one per
+  /// sample index) without consuming state from this stream.
+  Rng fork(std::uint64_t salt) const {
+    // SplitMix64 finalizer over (seed_, salt); decorrelates nearby salts.
+    std::uint64_t z = seed_ + salt * 0xBF58476D1CE4E5B9ull + 0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return Rng(z ^ (z >> 31));
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    assert(lo <= hi);
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in [lo, hi).
+  double uniform_real(double lo, double hi) {
+    assert(lo <= hi);
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// True with probability p.
+  bool bernoulli(double p) {
+    assert(p >= 0.0 && p <= 1.0);
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Log-uniform real in [lo, hi]: exp(U[ln lo, ln hi]).  Used for task
+  /// periods per the paper's setup (Sec. VII-A).
+  double log_uniform(double lo, double hi) {
+    assert(lo > 0.0 && lo <= hi);
+    return std::exp(uniform_real(std::log(lo), std::log(hi)));
+  }
+
+  /// Log-uniform Time in [lo, hi] nanoseconds.
+  Time log_uniform_time(Time lo, Time hi) {
+    const double v = log_uniform(static_cast<double>(lo), static_cast<double>(hi));
+    return std::clamp(static_cast<Time>(std::llround(v)), lo, hi);
+  }
+
+  /// Standard exponential variate (rate 1).
+  double exponential() {
+    return std::exponential_distribution<double>(1.0)(engine_);
+  }
+
+  /// Uniformly pick an index in [0, n).
+  std::size_t index(std::size_t n) {
+    assert(n > 0);
+    return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(n) - 1));
+  }
+
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    std::shuffle(v.begin(), v.end(), engine_);
+  }
+
+  /// Random composition: split `total` into `parts` non-negative integers
+  /// summing to `total`, uniformly over compositions (stars-and-bars by
+  /// sorting cut points).  Used to spread N_{i,q} requests over vertices.
+  std::vector<std::int64_t> composition(std::int64_t total, std::size_t parts);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace dpcp

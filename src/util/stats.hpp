@@ -1,0 +1,65 @@
+// Small statistics helpers for the experiment harness.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace dpcp {
+
+/// Streaming mean / variance / extrema (Welford).
+class RunningStat {
+ public:
+  void add(double x) {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::int64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  double stderr_mean() const {
+    return n_ ? stddev() / std::sqrt(static_cast<double>(n_)) : 0.0;
+  }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Accepted / total counter for schedulability experiments.
+class AcceptanceCounter {
+ public:
+  void add(bool accepted) {
+    ++total_;
+    if (accepted) ++accepted_;
+  }
+  void merge(const AcceptanceCounter& o) {
+    total_ += o.total_;
+    accepted_ += o.accepted_;
+  }
+  std::int64_t total() const { return total_; }
+  std::int64_t accepted() const { return accepted_; }
+  double ratio() const {
+    return total_ ? static_cast<double>(accepted_) / static_cast<double>(total_) : 0.0;
+  }
+
+ private:
+  std::int64_t total_ = 0;
+  std::int64_t accepted_ = 0;
+};
+
+}  // namespace dpcp

@@ -1,0 +1,37 @@
+// Plain-text table / CSV rendering for the experiment binaries.
+//
+// The benchmark harnesses print the same rows/series the paper reports
+// (Fig. 2 acceptance-ratio curves, Tables 2-3 pairwise statistics); this
+// keeps that output readable on a terminal and machine-parsable as CSV.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dpcp {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Aligned fixed-width rendering for terminals.
+  std::string to_text() const;
+
+  /// RFC-4180-ish CSV (quotes fields containing separators).
+  std::string to_csv() const;
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return header_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style helper returning std::string.
+std::string strfmt(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace dpcp

@@ -1,0 +1,27 @@
+#include "util/time.hpp"
+
+#include <cstdio>
+
+namespace dpcp {
+
+std::string format_time(Time t) {
+  if (t == kTimeInfinity) return "inf";
+  const bool neg = t < 0;
+  const double abs = static_cast<double>(neg ? -t : t);
+  char buf[64];
+  if (abs >= static_cast<double>(kSecond)) {
+    std::snprintf(buf, sizeof buf, "%s%.3fs", neg ? "-" : "", abs / kSecond);
+  } else if (abs >= static_cast<double>(kMillisecond)) {
+    std::snprintf(buf, sizeof buf, "%s%.3fms", neg ? "-" : "",
+                  abs / kMillisecond);
+  } else if (abs >= static_cast<double>(kMicrosecond)) {
+    std::snprintf(buf, sizeof buf, "%s%.3fus", neg ? "-" : "",
+                  abs / kMicrosecond);
+  } else {
+    std::snprintf(buf, sizeof buf, "%s%ldns", neg ? "-" : "",
+                  static_cast<long>(neg ? -t : t));
+  }
+  return buf;
+}
+
+}  // namespace dpcp

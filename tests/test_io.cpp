@@ -1,0 +1,190 @@
+// Tests for the text serialization of task sets and partitions:
+// round-trips, format details, and rejection of malformed input.
+#include <gtest/gtest.h>
+
+#include "gen/taskset_gen.hpp"
+#include "io/taskset_io.hpp"
+
+namespace dpcp {
+namespace {
+
+TaskSet sample_set() {
+  TaskSet ts(2);
+  DagTask& a = ts.add_task(20, 20);
+  a.add_vertex(2);
+  a.add_vertex(3, {1, 0});
+  a.add_vertex(2, {0, 1});
+  a.graph().add_edge(0, 1);
+  a.graph().add_edge(0, 2);
+  a.set_cs_length(0, 3);
+  a.set_cs_length(1, 2);
+  DagTask& b = ts.add_task(50, 50);
+  b.add_vertex(10, {2, 0});
+  b.set_cs_length(0, 3);
+  ts.assign_rm_priorities();
+  ts.finalize();
+  return ts;
+}
+
+bool tasksets_equal(const TaskSet& a, const TaskSet& b) {
+  if (a.size() != b.size() || a.num_resources() != b.num_resources())
+    return false;
+  for (int i = 0; i < a.size(); ++i) {
+    const DagTask& x = a.task(i);
+    const DagTask& y = b.task(i);
+    if (x.period() != y.period() || x.deadline() != y.deadline()) return false;
+    if (x.wcet() != y.wcet() || x.vertex_count() != y.vertex_count())
+      return false;
+    if (x.longest_path_length() != y.longest_path_length()) return false;
+    if (x.priority() != y.priority()) return false;
+    for (VertexId v = 0; v < x.vertex_count(); ++v) {
+      if (x.vertex(v).wcet != y.vertex(v).wcet) return false;
+      for (ResourceId q = 0; q < a.num_resources(); ++q)
+        if (x.vertex(v).requests_to(q) != y.vertex(v).requests_to(q))
+          return false;
+      if (x.graph().successors(v) != y.graph().successors(v)) return false;
+    }
+    for (ResourceId q = 0; q < a.num_resources(); ++q) {
+      if (x.usage(q).max_requests != y.usage(q).max_requests) return false;
+      if (x.uses(q) && x.usage(q).cs_length != y.usage(q).cs_length)
+        return false;
+    }
+  }
+  return true;
+}
+
+TEST(TasksetIo, RoundTripHandCrafted) {
+  const TaskSet ts = sample_set();
+  const std::string text = taskset_to_text(ts);
+  std::string error;
+  const auto back = taskset_from_text(text, &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_TRUE(tasksets_equal(ts, *back));
+}
+
+TEST(TasksetIo, RoundTripGenerated) {
+  for (int seed = 0; seed < 5; ++seed) {
+    Rng rng(4000 + static_cast<std::uint64_t>(seed));
+    GenParams params;
+    params.total_utilization = 5.0;
+    const auto ts = generate_taskset(rng, params);
+    ASSERT_TRUE(ts.has_value());
+    std::string error;
+    const auto back = taskset_from_text(taskset_to_text(*ts), &error);
+    ASSERT_TRUE(back.has_value()) << error;
+    EXPECT_TRUE(tasksets_equal(*ts, *back)) << "seed " << seed;
+  }
+}
+
+TEST(TasksetIo, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "dpcp-taskset v1\n"
+      "# a comment\n"
+      "resources 1\n"
+      "\n"
+      "task period 100 deadline 100   # trailing comment\n"
+      "  cs 0 2\n"
+      "  vertex 10 requests 0:1\n"
+      "end\n";
+  std::string error;
+  const auto ts = taskset_from_text(text, &error);
+  ASSERT_TRUE(ts.has_value()) << error;
+  EXPECT_EQ(ts->size(), 1);
+  EXPECT_EQ(ts->task(0).usage(0).max_requests, 1);
+}
+
+struct BadInput {
+  const char* description;
+  const char* text;
+  const char* expect_in_error;
+};
+
+class TasksetIoRejectTest : public ::testing::TestWithParam<BadInput> {};
+
+TEST_P(TasksetIoRejectTest, RejectsWithLineDiagnostic) {
+  std::string error;
+  const auto ts = taskset_from_text(GetParam().text, &error);
+  EXPECT_FALSE(ts.has_value()) << GetParam().description;
+  EXPECT_NE(error.find(GetParam().expect_in_error), std::string::npos)
+      << "got: " << error;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, TasksetIoRejectTest,
+    ::testing::Values(
+        BadInput{"missing header", "resources 1\n", "header"},
+        BadInput{"bad resource count", "dpcp-taskset v1\nresources x\n",
+                 "resource count"},
+        BadInput{"unknown directive",
+                 "dpcp-taskset v1\nresources 1\ntask period 10 deadline 10\n"
+                 "  bogus 1\nend\n",
+                 "unknown directive"},
+        BadInput{"edge before vertices",
+                 "dpcp-taskset v1\nresources 0\ntask period 10 deadline 10\n"
+                 "  edge 0 1\nend\n",
+                 "edge"},
+        BadInput{"missing end",
+                 "dpcp-taskset v1\nresources 0\ntask period 10 deadline 10\n"
+                 "  vertex 5\n",
+                 "missing 'end'"},
+        BadInput{"request to unknown resource",
+                 "dpcp-taskset v1\nresources 1\ntask period 10 deadline 10\n"
+                 "  cs 0 1\n  vertex 5 requests 3:1\nend\n",
+                 "request entry"},
+        BadInput{"cs demand exceeds vertex wcet",
+                 "dpcp-taskset v1\nresources 1\ntask period 10 deadline 10\n"
+                 "  cs 0 9\n  vertex 5 requests 0:1\nend\n",
+                 "invalid task set"},
+        BadInput{"deadline above period",
+                 "dpcp-taskset v1\nresources 0\ntask period 10 deadline 20\n"
+                 "  vertex 5\nend\n",
+                 "invalid task set"}));
+
+TEST(TasksetIo, PrioritiesRederivedRateMonotonically) {
+  const TaskSet ts = sample_set();
+  const auto back = taskset_from_text(taskset_to_text(ts));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_GT(back->task(0).priority(), back->task(1).priority());
+}
+
+// ---------- partitions ----------------------------------------------------------
+
+TEST(PartitionIo, RoundTrip) {
+  Partition part(6, 2, 3);
+  part.add_processor_to_task(0, 0);
+  part.add_processor_to_task(0, 3);
+  part.add_processor_to_task(1, 1);
+  part.assign_resource(0, 3);
+  part.assign_resource(2, 1);
+  std::string error;
+  const auto back = partition_from_text(partition_to_text(part), &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_EQ(back->num_processors(), 6);
+  EXPECT_EQ(back->cluster(0), (std::vector<ProcessorId>{0, 3}));
+  EXPECT_EQ(back->cluster(1), std::vector<ProcessorId>{1});
+  EXPECT_EQ(back->processor_of_resource(0), 3);
+  EXPECT_EQ(back->processor_of_resource(1), Partition::kUnassigned);
+  EXPECT_EQ(back->processor_of_resource(2), 1);
+}
+
+TEST(PartitionIo, RejectsOutOfRangeIds) {
+  const std::string text =
+      "dpcp-partition v1\nprocessors 2\ntasks 1\nnresources 1\n"
+      "cluster 0 5\n";
+  std::string error;
+  EXPECT_FALSE(partition_from_text(text, &error).has_value());
+  EXPECT_NE(error.find("processor id"), std::string::npos);
+}
+
+TEST(Files, WriteThenRead) {
+  const std::string path = ::testing::TempDir() + "/dpcp_io_test.txt";
+  std::string error;
+  ASSERT_TRUE(write_text_file(path, "hello\nworld\n", &error)) << error;
+  const auto content = read_text_file(path, &error);
+  ASSERT_TRUE(content.has_value()) << error;
+  EXPECT_EQ(*content, "hello\nworld\n");
+  EXPECT_FALSE(read_text_file(path + ".does-not-exist").has_value());
+}
+
+}  // namespace
+}  // namespace dpcp

@@ -1,0 +1,369 @@
+// Unit tests for the task model: DAG algorithms, task aggregates,
+// task-set classification and complete-path signature enumeration.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "model/dag.hpp"
+#include "model/paths.hpp"
+#include "model/task.hpp"
+#include "model/taskset.hpp"
+
+namespace dpcp {
+namespace {
+
+// ---------- Dag -------------------------------------------------------------
+
+TEST(Dag, EmptyGraph) {
+  Dag d;
+  EXPECT_EQ(d.size(), 0);
+  EXPECT_TRUE(d.is_acyclic());
+  EXPECT_TRUE(d.heads().empty());
+}
+
+TEST(Dag, AddVertexAndEdges) {
+  Dag d(3);
+  d.add_edge(0, 1);
+  d.add_edge(1, 2);
+  EXPECT_TRUE(d.has_edge(0, 1));
+  EXPECT_FALSE(d.has_edge(0, 2));
+  EXPECT_EQ(d.successors(0).size(), 1u);
+  EXPECT_EQ(d.predecessors(2).size(), 1u);
+  EXPECT_EQ(d.heads(), std::vector<VertexId>{0});
+  EXPECT_EQ(d.tails(), std::vector<VertexId>{2});
+}
+
+TEST(Dag, DuplicateEdgesIgnored) {
+  Dag d(2);
+  d.add_edge(0, 1);
+  d.add_edge(0, 1);
+  EXPECT_EQ(d.successors(0).size(), 1u);
+}
+
+TEST(Dag, TopologicalOrderRespectsEdges) {
+  Dag d(5);
+  d.add_edge(0, 2);
+  d.add_edge(1, 2);
+  d.add_edge(2, 3);
+  d.add_edge(2, 4);
+  const auto order = d.topological_order();
+  ASSERT_EQ(order.size(), 5u);
+  auto pos = [&](VertexId v) {
+    return std::find(order.begin(), order.end(), v) - order.begin();
+  };
+  EXPECT_LT(pos(0), pos(2));
+  EXPECT_LT(pos(1), pos(2));
+  EXPECT_LT(pos(2), pos(3));
+  EXPECT_LT(pos(2), pos(4));
+}
+
+TEST(Dag, CycleDetection) {
+  Dag d(3);
+  d.add_edge(0, 1);
+  d.add_edge(1, 2);
+  EXPECT_TRUE(d.is_acyclic());
+  d.add_edge(2, 0);
+  EXPECT_FALSE(d.is_acyclic());
+  EXPECT_TRUE(d.topological_order().empty());
+}
+
+TEST(Dag, LongestPathWeight) {
+  // Diamond: 0 -> {1,2} -> 3 with weights 2, 3, 4, 2.
+  Dag d(4);
+  d.add_edge(0, 1);
+  d.add_edge(0, 2);
+  d.add_edge(1, 3);
+  d.add_edge(2, 3);
+  const std::vector<Time> w{2, 3, 4, 2};
+  EXPECT_EQ(d.longest_path_weight(w), 2 + 4 + 2);
+  const auto path = d.longest_path(w);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[0], 0);
+  EXPECT_EQ(path[1], 2);
+  EXPECT_EQ(path[2], 3);
+}
+
+TEST(Dag, LongestPathOnDisconnectedVertices) {
+  Dag d(3);  // no edges: longest path is the heaviest vertex
+  const std::vector<Time> w{5, 9, 1};
+  EXPECT_EQ(d.longest_path_weight(w), 9);
+}
+
+TEST(Dag, CountCompletePaths) {
+  Dag d(4);
+  d.add_edge(0, 1);
+  d.add_edge(0, 2);
+  d.add_edge(1, 3);
+  d.add_edge(2, 3);
+  EXPECT_EQ(d.count_complete_paths(), 2);
+  Dag chain(3);
+  chain.add_edge(0, 1);
+  chain.add_edge(1, 2);
+  EXPECT_EQ(chain.count_complete_paths(), 1);
+  Dag isolated(3);
+  EXPECT_EQ(isolated.count_complete_paths(), 3);
+}
+
+TEST(Dag, CountCompletePathsSaturatesAtCap) {
+  // Ladder of diamonds: path count 2^10.
+  Dag d(21);
+  for (int k = 0; k < 10; ++k) {
+    const int base = 2 * k;
+    d.add_edge(base, base + 1);
+    d.add_edge(base, base + 2);
+    if (k < 9) {
+      d.add_edge(base + 1, base + 2 + 0);  // converge to next junction
+    }
+  }
+  // (structure detail irrelevant; just exercise the cap)
+  EXPECT_LE(d.count_complete_paths(100), 100);
+}
+
+// ---------- DagTask ---------------------------------------------------------
+
+DagTask make_fig1_task_gi() {
+  // Fig. 1(a) of the paper, task G_i: 8 vertices, L* = 10 via
+  // (v1, v5, v7, v8); resource usage is irrelevant here.
+  DagTask t(0, 100, 100, 2);
+  const Time wcet[] = {2, 3, 2, 2, 4, 2, 2, 2};
+  for (Time c : wcet) t.add_vertex(c);
+  auto& g = t.graph();
+  g.add_edge(0, 1);  // v_{i,1} -> v_{i,2}
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  g.add_edge(0, 4);  // -> v_{i,5}
+  g.add_edge(1, 5);
+  g.add_edge(2, 5);
+  g.add_edge(3, 6);
+  g.add_edge(4, 6);  // v_{i,5} -> v_{i,7}
+  g.add_edge(5, 7);
+  g.add_edge(6, 7);
+  t.finalize();
+  return t;
+}
+
+TEST(DagTask, AggregatesMatchPaperExample) {
+  DagTask t = make_fig1_task_gi();
+  EXPECT_EQ(t.wcet(), 2 + 3 + 2 + 2 + 4 + 2 + 2 + 2);
+  EXPECT_EQ(t.longest_path_length(), 10);  // (v1, v5, v7, v8) in the paper
+  EXPECT_EQ(t.vertex_count(), 8);
+}
+
+TEST(DagTask, RequestAggregation) {
+  DagTask t(0, 1000, 1000, 2);
+  t.add_vertex(10, {2, 0});
+  t.add_vertex(10, {1, 3});
+  t.set_cs_length(0, 2);
+  t.set_cs_length(1, 1);
+  t.finalize();
+  EXPECT_EQ(t.usage(0).max_requests, 3);
+  EXPECT_EQ(t.usage(1).max_requests, 3);
+  EXPECT_TRUE(t.uses(0));
+  EXPECT_EQ(t.cs_demand(), 3 * 2 + 3 * 1);
+  EXPECT_EQ(t.noncrit_wcet(), 20 - 9);
+  EXPECT_EQ(t.vertex_noncrit_wcet(0), 10 - 4);
+  EXPECT_EQ(t.vertex_noncrit_wcet(1), 10 - 2 - 3);
+  EXPECT_EQ(t.used_resources(), (std::vector<ResourceId>{0, 1}));
+}
+
+TEST(DagTask, UtilizationAndValidation) {
+  DagTask t(0, 100, 100, 0);
+  t.add_vertex(30);
+  t.add_vertex(30);
+  t.finalize();
+  EXPECT_DOUBLE_EQ(t.utilization(), 0.6);
+  EXPECT_FALSE(t.validate().has_value());
+}
+
+TEST(DagTask, ValidateRejectsCsOverflowingVertex) {
+  DagTask t(0, 100, 100, 1);
+  t.add_vertex(5, {3});   // 3 requests x 2 = 6 > 5
+  t.set_cs_length(0, 2);
+  t.finalize();
+  const auto err = t.validate();
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("critical-section demand"), std::string::npos);
+}
+
+TEST(DagTask, ValidateRejectsBadDeadline) {
+  DagTask t(0, 100, 150, 0);  // D > T violates the constrained model
+  t.add_vertex(5);
+  t.finalize();
+  EXPECT_TRUE(t.validate().has_value());
+}
+
+TEST(DagTask, ValidateRejectsCycle) {
+  DagTask t(0, 100, 100, 0);
+  t.add_vertex(5);
+  t.add_vertex(5);
+  t.graph().add_edge(0, 1);
+  t.graph().add_edge(1, 0);
+  EXPECT_TRUE(t.validate().has_value());
+}
+
+// ---------- TaskSet ---------------------------------------------------------
+
+TaskSet make_two_task_set() {
+  TaskSet ts(3);
+  DagTask& a = ts.add_task(100, 100);
+  a.add_vertex(10, {1, 0, 0});
+  a.add_vertex(10, {0, 1, 0});
+  a.set_cs_length(0, 2);
+  a.set_cs_length(1, 2);
+  DagTask& b = ts.add_task(50, 50);
+  b.add_vertex(10, {1, 0, 0});
+  b.set_cs_length(0, 3);
+  ts.assign_rm_priorities();
+  ts.finalize();
+  return ts;
+}
+
+TEST(TaskSet, LocalGlobalClassification) {
+  TaskSet ts = make_two_task_set();
+  EXPECT_TRUE(ts.is_global(0));   // used by both tasks
+  EXPECT_TRUE(ts.is_local(1));    // used by task 0 only
+  EXPECT_TRUE(ts.is_local(2));    // unused
+  EXPECT_EQ(ts.global_resources(), std::vector<ResourceId>{0});
+  EXPECT_EQ(ts.local_resources(), std::vector<ResourceId>{1});
+  EXPECT_EQ(ts.users(0), (std::vector<int>{0, 1}));
+}
+
+TEST(TaskSet, RmPrioritiesShorterPeriodHigher) {
+  TaskSet ts = make_two_task_set();
+  EXPECT_GT(ts.task(1).priority(), ts.task(0).priority());  // T=50 < T=100
+  EXPECT_FALSE(ts.validate().has_value());
+}
+
+TEST(TaskSet, ResourceUtilization) {
+  TaskSet ts = make_two_task_set();
+  // l_0: task0 1x2/100 + task1 1x3/50 = 0.02 + 0.06
+  EXPECT_NEAR(ts.resource_utilization(0), 0.08, 1e-12);
+  EXPECT_NEAR(ts.resource_utilization(1), 0.02, 1e-12);
+}
+
+TEST(TaskSet, CeilingPriority) {
+  TaskSet ts = make_two_task_set();
+  EXPECT_EQ(ts.ceiling_priority(0), ts.task(1).priority());  // highest user
+  EXPECT_EQ(ts.ceiling_priority(1), ts.task(0).priority());
+}
+
+TEST(TaskSet, AdoptTaskRewritesId) {
+  TaskSet ts(1);
+  DagTask t(-1, 100, 100, 1);
+  t.add_vertex(10);
+  t.finalize();
+  const DagTask& adopted = ts.adopt_task(std::move(t));
+  EXPECT_EQ(adopted.id(), 0);
+  EXPECT_EQ(ts.size(), 1);
+}
+
+// ---------- path signatures -------------------------------------------------
+
+TEST(Paths, ChainHasSingleSignature) {
+  DagTask t(0, 1000, 1000, 2);
+  t.add_vertex(5, {1, 0});
+  t.add_vertex(5, {0, 2});
+  t.add_vertex(5, {1, 0});
+  t.graph().add_edge(0, 1);
+  t.graph().add_edge(1, 2);
+  t.set_cs_length(0, 1);
+  t.set_cs_length(1, 1);
+  t.finalize();
+  const auto r = enumerate_path_signatures(t);
+  ASSERT_EQ(r.signatures.size(), 1u);
+  EXPECT_EQ(r.paths_visited, 1);
+  EXPECT_EQ(r.signatures[0].length, 15);
+  EXPECT_EQ(r.resource_index, (std::vector<ResourceId>{0, 1}));
+  EXPECT_EQ(r.signatures[0].requests, (std::vector<int>{2, 2}));
+  EXPECT_FALSE(r.truncated);
+}
+
+TEST(Paths, DiamondDistinguishesRequestVectors) {
+  DagTask t(0, 1000, 1000, 1);
+  t.add_vertex(5, {0});  // head
+  t.add_vertex(7, {1});  // branch A: 1 request
+  t.add_vertex(3, {0});  // branch B: no requests
+  t.add_vertex(5, {0});  // tail
+  t.graph().add_edge(0, 1);
+  t.graph().add_edge(0, 2);
+  t.graph().add_edge(1, 3);
+  t.graph().add_edge(2, 3);
+  t.set_cs_length(0, 1);
+  t.finalize();
+  const auto r = enumerate_path_signatures(t);
+  ASSERT_EQ(r.signatures.size(), 2u);
+  EXPECT_EQ(r.paths_visited, 2);
+  // Signature with one request has length 17; signature without, 13.
+  for (const auto& sig : r.signatures) {
+    if (sig.requests[0] == 1)
+      EXPECT_EQ(sig.length, 17);
+    else
+      EXPECT_EQ(sig.length, 13);
+  }
+}
+
+TEST(Paths, EqualVectorsMergeKeepingMaxLength) {
+  // Two branches, same request vector, different lengths: one class, max L.
+  DagTask t(0, 1000, 1000, 1);
+  t.add_vertex(5, {1});
+  t.add_vertex(7, {0});
+  t.add_vertex(3, {0});
+  t.add_vertex(5, {0});
+  t.graph().add_edge(0, 1);
+  t.graph().add_edge(0, 2);
+  t.graph().add_edge(1, 3);
+  t.graph().add_edge(2, 3);
+  t.set_cs_length(0, 1);
+  t.finalize();
+  const auto r = enumerate_path_signatures(t);
+  ASSERT_EQ(r.signatures.size(), 1u);
+  EXPECT_EQ(r.paths_visited, 2);
+  EXPECT_EQ(r.signatures[0].length, 17);
+  EXPECT_EQ(r.signatures[0].requests, std::vector<int>{1});
+}
+
+TEST(Paths, TruncationFlagOnPathExplosion) {
+  // 12 stacked diamonds: 2^12 = 4096 paths; cap at 100.
+  DagTask t(0, 100'000, 100'000, 1);
+  const int diamonds = 12;
+  int prev_tail = -1;
+  for (int k = 0; k < diamonds; ++k) {
+    const VertexId head =
+        prev_tail >= 0 ? prev_tail : t.add_vertex(1, {0});
+    const VertexId a = t.add_vertex(1, {1});  // distinct vectors per branch
+    const VertexId b = t.add_vertex(1, {0});
+    const VertexId tail = t.add_vertex(1, {0});
+    t.graph().add_edge(head, a);
+    t.graph().add_edge(head, b);
+    t.graph().add_edge(a, tail);
+    t.graph().add_edge(b, tail);
+    prev_tail = tail;
+  }
+  t.set_cs_length(0, 1);
+  t.finalize();
+  const auto r = enumerate_path_signatures(t, 100);
+  EXPECT_TRUE(r.truncated);
+  EXPECT_LE(r.paths_visited, 100);
+  const auto full = enumerate_path_signatures(t, 1 << 20);
+  EXPECT_FALSE(full.truncated);
+  EXPECT_EQ(full.paths_visited, 1 << diamonds);
+  // Distinct signatures: one per on-path branch count 0..12.
+  EXPECT_EQ(full.signatures.size(), static_cast<std::size_t>(diamonds + 1));
+}
+
+TEST(Paths, MultiHeadMultiTail) {
+  DagTask t(0, 1000, 1000, 0);
+  t.add_vertex(2);
+  t.add_vertex(3);
+  t.add_vertex(4);
+  t.graph().add_edge(0, 2);
+  t.graph().add_edge(1, 2);
+  t.finalize();
+  const auto r = enumerate_path_signatures(t);
+  EXPECT_EQ(r.paths_visited, 2);  // 0->2 and 1->2
+  ASSERT_EQ(r.signatures.size(), 1u);
+  EXPECT_EQ(r.signatures[0].length, 7);  // max(2,3)+4
+}
+
+}  // namespace
+}  // namespace dpcp

@@ -1,0 +1,421 @@
+// Tests for the DPCP-p runtime simulator: segment plans, the paper's Fig. 1
+// worked example (E7), protocol invariants (Lemma 1 / E8, mutual exclusion,
+// ceiling gate, work conservation) on random workloads, and the
+// analysis-bound-vs-observed-response safety property.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/dpcp_p.hpp"
+#include "gen/taskset_gen.hpp"
+#include "partition/federated.hpp"
+#include "partition/wfd.hpp"
+#include "sim/segments.hpp"
+#include "sim/simulator.hpp"
+
+namespace dpcp {
+namespace {
+
+// ---------- segment plans -----------------------------------------------------
+
+TEST(Segments, InterleavesCriticalSectionsWithEvenSlices) {
+  TaskSet ts(2);
+  DagTask& t = ts.add_task(1000, 1000);
+  t.add_vertex(10, {1, 1});
+  t.set_cs_length(0, 2);
+  t.set_cs_length(1, 2);
+  ts.finalize();
+  const auto plans = build_plans(ts);
+  const auto& segs = plans[0].vertices[0].segments;
+  // noncrit = 6 over 3 slots: [2][cs][2][cs][2].
+  ASSERT_EQ(segs.size(), 5u);
+  EXPECT_FALSE(segs[0].critical);
+  EXPECT_TRUE(segs[1].critical);
+  EXPECT_FALSE(segs[2].critical);
+  EXPECT_TRUE(segs[3].critical);
+  EXPECT_FALSE(segs[4].critical);
+  EXPECT_EQ(plans[0].vertices[0].total(), 10);
+  // Round-robin: the two resources alternate.
+  EXPECT_NE(segs[1].resource, segs[3].resource);
+}
+
+TEST(Segments, PureCriticalVertex) {
+  TaskSet ts(1);
+  DagTask& t = ts.add_task(1000, 1000);
+  t.add_vertex(4, {2});  // 2 requests x 2 = whole WCET
+  t.set_cs_length(0, 2);
+  ts.finalize();
+  const auto plans = build_plans(ts);
+  const auto& segs = plans[0].vertices[0].segments;
+  ASSERT_EQ(segs.size(), 2u);
+  EXPECT_TRUE(segs[0].critical);
+  EXPECT_TRUE(segs[1].critical);
+}
+
+TEST(Segments, WcetsPreservedAcrossTask) {
+  Rng rng(3);
+  GenParams params;
+  params.total_utilization = 4.0;
+  const auto ts = generate_taskset(rng, params);
+  ASSERT_TRUE(ts.has_value());
+  const auto plans = build_plans(*ts);
+  for (int i = 0; i < ts->size(); ++i)
+    for (VertexId v = 0; v < ts->task(i).vertex_count(); ++v)
+      EXPECT_EQ(plans[i].vertices[v].total(), ts->task(i).vertex(v).wcet);
+}
+
+TEST(Segments, ScalingShrinksButKeepsStructure) {
+  TaskSet ts(1);
+  DagTask& t = ts.add_task(1000, 1000);
+  t.add_vertex(100, {1});
+  t.set_cs_length(0, 10);
+  ts.finalize();
+  const auto plans = build_plans(ts, 0.5);
+  Time total = 0;
+  bool has_cs = false;
+  for (const auto& s : plans[0].vertices[0].segments) {
+    total += s.length;
+    has_cs |= s.critical;
+  }
+  EXPECT_TRUE(has_cs);
+  EXPECT_LE(total, 60);
+  EXPECT_GE(total, 40);
+}
+
+// ---------- Fig. 1 of the paper (E7) --------------------------------------------
+
+/// Builds the two-task example of Fig. 1: l_1 (resource 0) global on
+/// processor 1 (the paper's p_2), l_2 (resource 1) local to tau_i.
+struct Fig1 {
+  TaskSet ts{2};
+  Partition part{4, 2, 2};
+
+  Fig1() {
+    // tau_i = task 0 (higher priority via id tie-break at equal periods).
+    DagTask& ti = ts.add_task(20, 20);
+    ti.add_vertex(2);          // v_{i,1}
+    ti.add_vertex(3, {1, 0});  // v_{i,2}: whole body is one CS on l_1
+    ti.add_vertex(2, {0, 1});  // v_{i,3}: CS on l_2
+    ti.add_vertex(2, {0, 1});  // v_{i,4}: CS on l_2
+    ti.add_vertex(4);          // v_{i,5}
+    ti.add_vertex(2);          // v_{i,6}
+    ti.add_vertex(2);          // v_{i,7}
+    ti.add_vertex(2);          // v_{i,8}
+    auto& gi = ti.graph();
+    gi.add_edge(0, 1);
+    gi.add_edge(0, 2);
+    gi.add_edge(0, 3);
+    gi.add_edge(0, 4);
+    gi.add_edge(1, 5);  // v_{i,2} -> v_{i,6}
+    gi.add_edge(2, 6);  // v_{i,3} -> v_{i,7}
+    gi.add_edge(4, 6);  // v_{i,5} -> v_{i,7}
+    gi.add_edge(3, 7);  // v_{i,4} -> v_{i,8}
+    gi.add_edge(5, 7);
+    gi.add_edge(6, 7);
+    ti.set_cs_length(0, 3);
+    ti.set_cs_length(1, 2);
+
+    DagTask& tj = ts.add_task(20, 20);
+    tj.add_vertex(1);          // v_{j,1}
+    tj.add_vertex(3, {1, 0});  // v_{j,2}: CS on l_1
+    tj.add_vertex(3);          // v_{j,3}
+    tj.add_vertex(4);          // v_{j,4}
+    tj.add_vertex(4);          // v_{j,5}
+    tj.add_vertex(1);          // v_{j,6}
+    auto& gj = tj.graph();
+    for (VertexId v = 1; v <= 4; ++v) {
+      gj.add_edge(0, v);
+      gj.add_edge(v, 5);
+    }
+    tj.set_cs_length(0, 3);
+
+    ts.assign_rm_priorities();
+    ts.finalize();
+
+    part.add_processor_to_task(0, 0);
+    part.add_processor_to_task(0, 1);
+    part.add_processor_to_task(1, 2);
+    part.add_processor_to_task(1, 3);
+    part.assign_resource(0, 1);  // l_1 on the paper's p_2
+  }
+};
+
+TEST(Fig1Schedule, PaperStructure) {
+  Fig1 f;
+  EXPECT_EQ(f.ts.task(0).longest_path_length(), 10);  // (v1,v5,v7,v8)
+  EXPECT_EQ(f.ts.task(0).wcet(), 19);
+  EXPECT_TRUE(f.ts.is_global(0));  // l_1 shared by both
+  EXPECT_TRUE(f.ts.is_local(1));   // l_2 only in tau_i
+  EXPECT_GT(f.ts.task(0).priority(), f.ts.task(1).priority());
+}
+
+/// Finds the first trace event matching (kind, task, resource); returns -1
+/// when absent.
+Time find_event(const std::vector<TraceEvent>& trace, TraceKind kind,
+                int task, int resource) {
+  for (const auto& e : trace)
+    if (e.kind == kind && e.task == task &&
+        (resource < 0 || e.resource == resource))
+      return e.time;
+  return -1;
+}
+
+TEST(Fig1Schedule, ReproducesThePapersProtocolEvents) {
+  Fig1 f;
+  SimConfig cfg;
+  cfg.horizon = 19;  // a single job per task
+  cfg.record_trace = true;
+  Simulator sim(f.ts, f.part, cfg);
+  const SimResult res = sim.run();
+  const auto& trace = sim.trace();
+
+  // <j,1 arrives at t=1 and is granted immediately; releases l_1 at t=4.
+  EXPECT_EQ(find_event(trace, TraceKind::kRequestIssue, 1, 0), 1);
+  EXPECT_EQ(find_event(trace, TraceKind::kRequestGrant, 1, 0), 1);
+  EXPECT_EQ(find_event(trace, TraceKind::kAgentComplete, 1, 0), 4);
+
+  // <i,1 arrives at t=2, waits for <j,1 (priority ceiling), is granted at
+  // t=4 and finishes at t=7 -- exactly the paper's narrative.
+  EXPECT_EQ(find_event(trace, TraceKind::kRequestIssue, 0, 0), 2);
+  EXPECT_EQ(find_event(trace, TraceKind::kRequestGrant, 0, 0), 4);
+  EXPECT_EQ(find_event(trace, TraceKind::kAgentComplete, 0, 0), 7);
+
+  // v_{i,3} locks the local resource l_2 at t=2 and releases it at t=4,
+  // upon which v_{i,4} locks it.
+  EXPECT_EQ(find_event(trace, TraceKind::kLocalLock, 0, 1), 2);
+  EXPECT_EQ(find_event(trace, TraceKind::kLocalUnlock, 0, 1), 4);
+  Time second_lock = -1;
+  for (const auto& e : trace)
+    if (e.kind == TraceKind::kLocalLock && e.task == 0 && e.resource == 1 &&
+        e.time > 2) {
+      second_lock = e.time;
+      break;
+    }
+  EXPECT_EQ(second_lock, 4);
+
+  // Lemma 1 observed: <i,1 was blocked by exactly one lower-priority
+  // request (namely <j,1).
+  EXPECT_EQ(res.max_lower_priority_blockers, 1);
+  EXPECT_TRUE(res.all_invariants_hold());
+  EXPECT_EQ(res.global_requests_completed, 2);
+
+  // Deterministic end-to-end responses (both within D = 20).
+  EXPECT_EQ(res.task[1].max_response, 9);
+  EXPECT_EQ(res.task[0].max_response, 14);
+  EXPECT_EQ(res.total_deadline_misses(), 0);
+  EXPECT_TRUE(res.drained);
+}
+
+TEST(Fig1Schedule, AgentPreemptsVertexOnItsProcessor) {
+  // Force tau_i's work onto processor 1 by shrinking its cluster to {1}:
+  // the agent for l_1 must preempt tau_i's running vertex.
+  Fig1 f;
+  Partition part(4, 2, 2);
+  part.add_processor_to_task(0, 1);
+  part.add_processor_to_task(1, 2);
+  part.add_processor_to_task(1, 3);
+  part.assign_resource(0, 1);
+  SimConfig cfg;
+  cfg.horizon = 19;
+  cfg.record_trace = true;
+  Simulator sim(f.ts, part, cfg);
+  const SimResult res = sim.run();
+  EXPECT_GT(res.preemptions, 0);
+  EXPECT_TRUE(res.all_invariants_hold());
+  // The vertex preemption must appear in the trace.
+  bool saw_preempt = false;
+  for (const auto& e : sim.trace())
+    if (e.kind == TraceKind::kVertexPreempt && e.task == 0) saw_preempt = true;
+  EXPECT_TRUE(saw_preempt);
+}
+
+// ---------- invariants on random workloads (E8) ---------------------------------
+
+struct SimPropertyCase {
+  int seed;
+  double utilization;
+  double scale;
+  Time jitter;
+};
+
+class SimInvariantsTest : public ::testing::TestWithParam<SimPropertyCase> {};
+
+TEST_P(SimInvariantsTest, ProtocolInvariantsHoldUnderDpcpPartition) {
+  const SimPropertyCase c = GetParam();
+  Rng rng(static_cast<std::uint64_t>(c.seed));
+  GenParams params;
+  params.scenario.m = 16;
+  params.scenario.p_r = 0.75;
+  params.total_utilization = c.utilization;
+  const auto ts = generate_taskset(rng, params, nullptr);
+  ASSERT_TRUE(ts.has_value());
+
+  auto part0 = initial_federated_partition(*ts, 16);
+  if (!part0) GTEST_SKIP() << "does not fit initial federated allocation";
+  Partition part = *part0;
+  if (!wfd_assign_resources(*ts, part).feasible) GTEST_SKIP();
+
+  SimConfig cfg;
+  cfg.horizon = millis(300);
+  cfg.execution_scale = c.scale;
+  cfg.release_jitter = c.jitter;
+  cfg.seed = static_cast<std::uint64_t>(c.seed) * 7 + 1;
+  const SimResult res = simulate(*ts, part, cfg);
+
+  EXPECT_EQ(res.lemma1_violations, 0) << "Lemma 1 violated";
+  EXPECT_LE(res.max_lower_priority_blockers, 1);
+  EXPECT_EQ(res.mutual_exclusion_violations, 0);
+  EXPECT_EQ(res.ceiling_violations, 0);
+  EXPECT_EQ(res.work_conserving_violations, 0);
+  EXPECT_TRUE(res.drained);
+  EXPECT_GT(res.global_requests_completed, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, SimInvariantsTest,
+    ::testing::Values(SimPropertyCase{1, 4.0, 1.0, 0},
+                      SimPropertyCase{2, 6.0, 1.0, 0},
+                      SimPropertyCase{3, 8.0, 1.0, 0},
+                      SimPropertyCase{4, 4.0, 0.6, 0},
+                      SimPropertyCase{5, 6.0, 0.8, millis(1)},
+                      SimPropertyCase{6, 8.0, 1.0, millis(3)},
+                      SimPropertyCase{7, 10.0, 1.0, 0},
+                      SimPropertyCase{8, 5.0, 0.5, millis(2)}));
+
+// ---------- analysis bound covers observed response ------------------------------
+
+class BoundCoversSimTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BoundCoversSimTest, ObservedResponseWithinAnalysedWcrt) {
+  Rng rng(2000 + GetParam());
+  GenParams params;
+  params.scenario.m = 16;
+  params.total_utilization = 5.0;
+  const auto ts = generate_taskset(rng, params);
+  ASSERT_TRUE(ts.has_value());
+  DpcpPAnalysis ep(DpcpPAnalysis::PathMode::kEnumerate);
+  const PartitionOutcome outcome = ep.test(*ts, 16);
+  if (!outcome.schedulable) GTEST_SKIP() << "unschedulable sample";
+
+  for (const Time jitter : {Time{0}, millis(2)}) {
+    SimConfig cfg;
+    cfg.horizon = millis(500);
+    cfg.release_jitter = jitter;
+    cfg.seed = 11 + static_cast<std::uint64_t>(GetParam());
+    const SimResult res = simulate(*ts, outcome.partition, cfg);
+    EXPECT_TRUE(res.all_invariants_hold());
+    EXPECT_EQ(res.total_deadline_misses(), 0)
+        << "schedulable set missed a deadline in simulation";
+    for (int i = 0; i < ts->size(); ++i)
+      EXPECT_LE(res.task[i].max_response, outcome.wcrt[i])
+          << "task " << i << " exceeded its analysed WCRT";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoundCoversSimTest, ::testing::Range(0, 10));
+
+// ---------- misc simulator behaviour ---------------------------------------------
+
+TEST(Simulator, OverloadedClusterMissesDeadlines) {
+  // A heavy task squeezed onto one processor must miss deadlines.
+  TaskSet ts(0);
+  DagTask& t = ts.add_task(100, 100);
+  for (int i = 0; i < 4; ++i) t.add_vertex(40);
+  ts.assign_rm_priorities();
+  ts.finalize();  // C=160 > D=100
+  Partition part(1, 1, 0);
+  part.add_processor_to_task(0, 0);
+  SimConfig cfg;
+  cfg.horizon = 99;
+  const SimResult res = simulate(ts, part, cfg);
+  EXPECT_GT(res.total_deadline_misses(), 0);
+}
+
+TEST(Simulator, PeriodicReleasesMatchHorizon) {
+  TaskSet ts(0);
+  DagTask& t = ts.add_task(100, 100);
+  t.add_vertex(10);
+  ts.assign_rm_priorities();
+  ts.finalize();
+  Partition part(1, 1, 0);
+  part.add_processor_to_task(0, 0);
+  SimConfig cfg;
+  cfg.horizon = 1000;
+  const SimResult res = simulate(ts, part, cfg);
+  EXPECT_EQ(res.task[0].jobs_released, 11);  // t = 0, 100, ..., 1000
+  EXPECT_EQ(res.task[0].jobs_completed, 11);
+  EXPECT_EQ(res.task[0].max_response, 10);
+  EXPECT_DOUBLE_EQ(res.task[0].avg_response, 10.0);
+}
+
+TEST(Simulator, SporadicJitterDelaysReleases) {
+  TaskSet ts(0);
+  DagTask& t = ts.add_task(100, 100);
+  t.add_vertex(10);
+  ts.assign_rm_priorities();
+  ts.finalize();
+  Partition part(1, 1, 0);
+  part.add_processor_to_task(0, 0);
+  SimConfig cfg;
+  cfg.horizon = 1000;
+  cfg.release_jitter = 50;
+  cfg.seed = 9;
+  const SimResult res = simulate(ts, part, cfg);
+  EXPECT_LT(res.task[0].jobs_released, 11);  // jitter stretches arrivals
+  EXPECT_GE(res.task[0].jobs_released, 7);
+}
+
+TEST(Simulator, TwoTasksContendOnGlobalFifoWithinPriority) {
+  // Three same-priority-level requests cannot exist (priorities unique);
+  // verify priority order instead: the higher-priority task's request,
+  // arriving while a lower-priority agent runs, is served next.
+  TaskSet ts(1);
+  DagTask& hi = ts.add_task(100, 100);   // higher RM priority
+  hi.add_vertex(6, {1});
+  hi.set_cs_length(0, 4);
+  DagTask& lo = ts.add_task(200, 200);
+  lo.add_vertex(10, {2});
+  lo.set_cs_length(0, 5);
+  ts.assign_rm_priorities();
+  ts.finalize();
+  Partition part(3, 2, 1);
+  part.add_processor_to_task(0, 0);
+  part.add_processor_to_task(1, 1);
+  part.assign_resource(0, 2);  // dedicated synchronization processor
+  SimConfig cfg;
+  cfg.horizon = 99;
+  cfg.record_trace = true;
+  Simulator sim(ts, part, cfg);
+  const SimResult res = sim.run();
+  EXPECT_TRUE(res.all_invariants_hold());
+  EXPECT_EQ(res.global_requests_completed, 3);
+  // hi's request (arrives t=1, lo's first CS started at t=0) must be
+  // granted before lo's *second* request executes.
+  Time hi_done = -1, lo_second_start = -1;
+  int lo_agent_runs = 0;
+  for (const auto& e : sim.trace()) {
+    if (e.kind == TraceKind::kAgentComplete && e.task == 0) hi_done = e.time;
+    if (e.kind == TraceKind::kAgentDispatch && e.task == 1 &&
+        ++lo_agent_runs == 2)
+      lo_second_start = e.time;
+  }
+  ASSERT_GE(hi_done, 0);
+  ASSERT_GE(lo_second_start, 0);
+  EXPECT_LE(hi_done, lo_second_start);
+}
+
+TEST(Simulator, TraceRendering) {
+  Fig1 f;
+  SimConfig cfg;
+  cfg.horizon = 19;
+  cfg.record_trace = true;
+  Simulator sim(f.ts, f.part, cfg);
+  sim.run();
+  const std::string text = trace_to_string(sim.trace());
+  EXPECT_NE(text.find("grant"), std::string::npos);
+  EXPECT_NE(text.find("agent-done"), std::string::npos);
+  EXPECT_NE(text.find("local-lock"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dpcp

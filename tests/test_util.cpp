@@ -1,0 +1,232 @@
+// Unit tests for the util substrate: time formatting/arithmetic, RNG
+// distributions and substreams, the fixed-point solver, statistics and
+// table rendering.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/fixed_point.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/time.hpp"
+
+namespace dpcp {
+namespace {
+
+// ---------- time ----------------------------------------------------------
+
+TEST(Time, UnitConstantsCompose) {
+  EXPECT_EQ(micros(1), 1000 * kNanosecond);
+  EXPECT_EQ(millis(1), 1000 * kMicrosecond);
+  EXPECT_EQ(kSecond, 1000 * kMillisecond);
+  EXPECT_EQ(millis(10) + micros(500), 10'500'000);
+}
+
+TEST(Time, DivCeil) {
+  EXPECT_EQ(div_ceil(0, 5), 0);
+  EXPECT_EQ(div_ceil(1, 5), 1);
+  EXPECT_EQ(div_ceil(5, 5), 1);
+  EXPECT_EQ(div_ceil(6, 5), 2);
+  EXPECT_EQ(div_ceil(10, 1), 10);
+}
+
+TEST(Time, FormatPicksUnits) {
+  EXPECT_EQ(format_time(500), "500ns");
+  EXPECT_EQ(format_time(micros(80)), "80.000us");
+  EXPECT_EQ(format_time(millis(12) + micros(500)), "12.500ms");
+  EXPECT_EQ(format_time(2 * kSecond), "2.000s");
+  EXPECT_EQ(format_time(kTimeInfinity), "inf");
+  EXPECT_EQ(format_time(-millis(1)), "-1.000ms");
+}
+
+// ---------- rng -----------------------------------------------------------
+
+TEST(Rng, UniformIntWithinBoundsAndCoversRange) {
+  Rng rng(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(3, 8);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 8);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // all values hit
+}
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(123), b(123), c(124);
+  bool differs_from_c = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.uniform_int(0, 1'000'000);
+    EXPECT_EQ(va, b.uniform_int(0, 1'000'000));
+    if (va != c.uniform_int(0, 1'000'000)) differs_from_c = true;
+  }
+  EXPECT_TRUE(differs_from_c);
+}
+
+TEST(Rng, ForkedStreamsAreIndependentOfParentConsumption) {
+  Rng parent(99);
+  Rng f1 = parent.fork(5);
+  (void)parent.uniform_int(0, 100);  // consume parent state
+  Rng f2 = parent.fork(5);
+  for (int i = 0; i < 50; ++i)
+    EXPECT_EQ(f1.uniform_int(0, 1 << 30), f2.uniform_int(0, 1 << 30));
+}
+
+TEST(Rng, ForkedStreamsWithDifferentSaltsDiffer) {
+  Rng parent(99);
+  Rng f1 = parent.fork(1);
+  Rng f2 = parent.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (f1.uniform_int(0, 1 << 30) == f2.uniform_int(0, 1 << 30)) ++equal;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, LogUniformStaysInRangeAndFillsDecades) {
+  Rng rng(11);
+  int low_decade = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.log_uniform(10.0, 1000.0);
+    ASSERT_GE(v, 10.0);
+    ASSERT_LE(v, 1000.0);
+    if (v < 100.0) ++low_decade;
+  }
+  // log-uniform: half the mass in [10,100).
+  EXPECT_NEAR(low_decade / 5000.0, 0.5, 0.05);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(5);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i)
+    if (rng.bernoulli(0.25)) ++hits;
+  EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+}
+
+TEST(Rng, CompositionSumsAndIsNonNegative) {
+  Rng rng(3);
+  for (int total : {0, 1, 7, 100, 12345}) {
+    for (std::size_t parts : {1u, 2u, 5u, 37u}) {
+      const auto c = rng.composition(total, parts);
+      ASSERT_EQ(c.size(), parts);
+      std::int64_t sum = 0;
+      for (auto v : c) {
+        ASSERT_GE(v, 0);
+        sum += v;
+      }
+      EXPECT_EQ(sum, total);
+    }
+  }
+}
+
+TEST(Rng, CompositionSpreadsMass) {
+  Rng rng(4);
+  // Average share of part 0 over many draws must approach total/parts.
+  double sum0 = 0;
+  const int draws = 3000;
+  for (int i = 0; i < draws; ++i) sum0 += rng.composition(100, 4)[0];
+  EXPECT_NEAR(sum0 / draws, 25.0, 2.0);
+}
+
+// ---------- fixed point -----------------------------------------------------
+
+TEST(FixedPoint, FindsLeastFixedPoint) {
+  // x = 10 + floor(x/2): least fixed point is 19 (19 = 10 + 9).
+  auto f = [](Time x) { return 10 + x / 2; };
+  const auto r = solve_fixed_point(f, 0, 1000);
+  ASSERT_TRUE(r.value.has_value());
+  EXPECT_EQ(*r.value, 19);
+  EXPECT_FALSE(r.exceeded_cap);
+}
+
+TEST(FixedPoint, ConstantFunctionConvergesImmediately) {
+  auto f = [](Time) { return 42; };
+  const auto r = solve_fixed_point(f, 0, 100);
+  ASSERT_TRUE(r.value.has_value());
+  EXPECT_EQ(*r.value, 42);
+}
+
+TEST(FixedPoint, DivergenceHitsCap) {
+  auto f = [](Time x) { return x + 7; };
+  const auto r = solve_fixed_point(f, 0, 1000);
+  EXPECT_FALSE(r.value.has_value());
+  EXPECT_TRUE(r.exceeded_cap);
+}
+
+TEST(FixedPoint, StartAtFixedPointIsIdentity) {
+  auto f = [](Time x) { return x < 50 ? 50 : x; };
+  const auto r = solve_fixed_point(f, 50, 100);
+  ASSERT_TRUE(r.value.has_value());
+  EXPECT_EQ(*r.value, 50);
+}
+
+TEST(FixedPoint, RtaShapedRecurrence) {
+  // Classic uniprocessor RTA: R = 3 + ceil(R/10)*2 + ceil(R/25)*5.
+  auto f = [](Time r) {
+    return 3 + div_ceil(r, 10) * 2 + div_ceil(r, 25) * 5;
+  };
+  const auto r = solve_fixed_point(f, 3, 1000);
+  ASSERT_TRUE(r.value.has_value());
+  EXPECT_EQ(*r.value, f(*r.value));
+  EXPECT_LE(*r.value, 20);
+}
+
+// ---------- stats -----------------------------------------------------------
+
+TEST(Stats, RunningStatMoments) {
+  RunningStat s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Stats, AcceptanceCounter) {
+  AcceptanceCounter c;
+  c.add(true);
+  c.add(false);
+  c.add(true);
+  c.add(true);
+  EXPECT_EQ(c.total(), 4);
+  EXPECT_EQ(c.accepted(), 3);
+  EXPECT_DOUBLE_EQ(c.ratio(), 0.75);
+  AcceptanceCounter d;
+  d.add(false);
+  d.merge(c);
+  EXPECT_EQ(d.total(), 5);
+  EXPECT_EQ(d.accepted(), 3);
+}
+
+// ---------- table -----------------------------------------------------------
+
+TEST(Table, TextAlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"long-name", "2"});
+  const std::string s = t.to_text();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("long-name"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.columns(), 2u);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"a", "b"});
+  t.add_row({"has,comma", "has\"quote"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, Strfmt) {
+  EXPECT_EQ(strfmt("%d-%s", 5, "x"), "5-x");
+  EXPECT_EQ(strfmt("%.2f", 1.239), "1.24");
+}
+
+}  // namespace
+}  // namespace dpcp
