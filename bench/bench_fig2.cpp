@@ -7,7 +7,9 @@
 //   (d) m=32, n_r in [8,16], p_r=1,   U_avg=2
 //
 // all with N_{i,q} in [1,50] and L_{i,q} in [50,100]us, comparing
-// DPCP-p-EP, DPCP-p-EN, SPIN-SON, LPP and FED-FP.
+// DPCP-p-EP, DPCP-p-EN, SPIN-SON, LPP and FED-FP.  One engine sweep per
+// sub-figure, so each reproduces the same numbers as a standalone
+// `sweep_tool --scenarios <x>` run at the same seed.
 //
 // Usage: bench_fig2 [a|b|c|d ...]   (default: all four)
 // Environment: DPCP_SAMPLES (default 100), DPCP_SEED, DPCP_THREADS.
@@ -18,12 +20,13 @@
 
 using namespace dpcp;
 
-static void run_subfigure(char which, const AcceptanceOptions& options) {
+static void run_subfigure(char which, const SweepOptions& options) {
   const Scenario scenario = fig2_scenario(which);
   std::printf("=== Fig. 2(%c): %s  [%d samples/point] ===\n", which,
               scenario.name().c_str(), options.samples_per_point);
-  const AcceptanceCurve curve =
-      run_acceptance(scenario, all_analysis_kinds(), options);
+  const SweepResult result =
+      run_sweep({scenario}, all_analysis_kinds(), options);
+  const AcceptanceCurve& curve = result.curves.front();
   std::fputs(curve.to_table().c_str(), stdout);
   std::printf("total accepted:");
   for (std::size_t a = 0; a < curve.names.size(); ++a)
@@ -33,7 +36,7 @@ static void run_subfigure(char which, const AcceptanceOptions& options) {
 }
 
 int main(int argc, char** argv) {
-  const AcceptanceOptions options = options_from_env(/*default_samples=*/100);
+  const SweepOptions options = sweep_options_from_env(/*default_samples=*/100);
   std::string which = argc > 1 ? "" : "abcd";
   for (int i = 1; i < argc; ++i) which += argv[i][0];
   for (char c : which) {

@@ -6,7 +6,9 @@
 // inter-task blocking and agent interference.  This bench quantifies that
 // extension: acceptance ratios with 0 / 2 / 4 additional light tasks per
 // set, under the DPCP-p-EP analysis with the partitioned light-task
-// machinery of src/partition + src/analysis.
+// machinery of src/partition + src/analysis.  Each column is one engine
+// sweep over the same scenario and utilization points; identical seeds
+// mean the 0/2/4-light columns test the same heavy-task workloads.
 //
 // Usage: bench_mixed   (env: DPCP_SAMPLES, default 60)
 #include <cstdio>
@@ -15,57 +17,48 @@
 
 using namespace dpcp;
 
-namespace {
-
-double acceptance(const Scenario& sc, double util, int samples,
-                  int light_tasks, std::int64_t* light_count) {
-  auto analysis = make_analysis(AnalysisKind::kDpcpPEp);
-  Rng root(777);
-  int accepted = 0, total = 0;
-  for (int s = 0; s < samples; ++s) {
-    Rng rng = root.fork(static_cast<std::uint64_t>(s));
-    GenParams params;
-    params.scenario = sc;
-    params.total_utilization = util;
-    params.light_tasks = light_tasks;
-    const auto ts = generate_taskset(rng, params);
-    if (!ts) continue;
-    ++total;
-    if (light_count)
-      for (int i = 0; i < ts->size(); ++i)
-        if (ts->task(i).utilization() < 1.0) ++*light_count;
-    if (analysis->test(*ts, sc.m).schedulable) ++accepted;
-  }
-  return total ? static_cast<double>(accepted) / total : 0.0;
-}
-
-}  // namespace
-
 int main() {
-  const AcceptanceOptions env = options_from_env(/*default_samples=*/60);
-  const int samples = env.samples_per_point;
+  SweepOptions options = sweep_options_from_env(/*default_samples=*/60);
+  options.seed = 777;
+  options.norm_utilizations = {0.2, 0.3, 0.4, 0.5, 0.6};
   const Scenario sc = fig2_scenario('a');
+  const std::vector<AnalysisKind> kinds{AnalysisKind::kDpcpPEp};
 
   std::printf(
       "=== Sec. VI extension: DPCP-p-EP acceptance with additional light "
       "tasks (scenario %s, %d samples/point) ===\n",
-      sc.name().c_str(), samples);
+      sc.name().c_str(), options.samples_per_point);
   std::puts(
       "Light tasks add utilization on top of the heavy-task budget, so "
       "acceptance can only drop; the question is by how much the shared-"
       "processor machinery absorbs them.");
 
-  Table t({"norm-util(heavy)", "+0 light", "+2 light", "+4 light"});
-  std::int64_t lights = 0;
-  for (double nu : {0.2, 0.3, 0.4, 0.5, 0.6}) {
-    const double u = nu * sc.m;
-    t.add_row({strfmt("%.2f", nu),
-               strfmt("%.3f", acceptance(sc, u, samples, 0, nullptr)),
-               strfmt("%.3f", acceptance(sc, u, samples, 2, &lights)),
-               strfmt("%.3f", acceptance(sc, u, samples, 4, nullptr))});
+  std::vector<AcceptanceCurve> by_light;
+  for (int light : {0, 2, 4}) {
+    options.light_tasks = light;
+    by_light.push_back(
+        std::move(run_sweep({sc}, kinds, options).curves.front()));
   }
+
+  Table t({"norm-util(heavy)", "+0 light", "+2 light", "+4 light"});
+  for (std::size_t p = 0; p < options.norm_utilizations.size(); ++p)
+    t.add_row({strfmt("%.2f", options.norm_utilizations[p]),
+               strfmt("%.3f", by_light[0].ratio(0, p)),
+               strfmt("%.3f", by_light[1].ratio(0, p)),
+               strfmt("%.3f", by_light[2].ratio(0, p))});
   std::fputs(t.to_text().c_str(), stdout);
-  std::printf("(verified %lld generated light tasks with U < 1)\n",
-              static_cast<long long>(lights));
+
+  // Spot-check that the generator really adds light (U < 1) tasks.
+  Rng rng(options.seed);
+  GenParams params;
+  params.scenario = sc;
+  params.total_utilization = 0.4 * sc.m;
+  params.light_tasks = 4;
+  if (const auto ts = generate_taskset(rng, params)) {
+    int lights = 0;
+    for (int i = 0; i < ts->size(); ++i)
+      if (ts->task(i).utilization() < 1.0) ++lights;
+    std::printf("(spot check: %d generated light tasks with U < 1)\n", lights);
+  }
   return 0;
 }

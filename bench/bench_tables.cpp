@@ -2,8 +2,9 @@
 // dominance and outperformance statistics over the full 216-scenario
 // space (m x n_r x U_avg x p_r x N x L).
 //
-// For every scenario an acceptance-ratio sweep is run (utilization 1..m in
-// steps of 0.05m); then, per ordered pair of approaches (A, B):
+// The experiment engine sweeps every scenario (utilization 1..m in steps
+// of 0.05m, paired samples across analyses); then, per ordered pair of
+// approaches (A, B):
 //   * A dominates B if A's ratio is never below B's and above somewhere;
 //   * A outperforms B if A accepted more task sets over the sweep.
 //
@@ -20,7 +21,7 @@
 using namespace dpcp;
 
 int main(int argc, char** argv) {
-  const AcceptanceOptions options = options_from_env(/*default_samples=*/10);
+  SweepOptions options = sweep_options_from_env(/*default_samples=*/10);
   auto scenarios = all_scenarios();
   if (argc > 1) {
     const std::size_t cap = static_cast<std::size_t>(std::atoll(argv[1]));
@@ -29,6 +30,7 @@ int main(int argc, char** argv) {
 
   std::printf("Running %zu scenarios, %d samples per utilization point\n",
               scenarios.size(), options.samples_per_point);
+  options.progress = stderr_progress();
 
   // The paper's Tables 2-3 compare the four locking approaches; FED-FP is
   // the hypothetical upper baseline of Fig. 2 only.
@@ -36,18 +38,9 @@ int main(int argc, char** argv) {
       AnalysisKind::kDpcpPEp, AnalysisKind::kDpcpPEn, AnalysisKind::kSpinSon,
       AnalysisKind::kLpp};
 
-  std::vector<AcceptanceCurve> curves;
-  curves.reserve(scenarios.size());
-  for (std::size_t s = 0; s < scenarios.size(); ++s) {
-    AcceptanceOptions per = options;
-    per.seed = options.seed + s * 1000003;
-    curves.push_back(run_acceptance(scenarios[s], kinds, per));
-    if ((s + 1) % 20 == 0 || s + 1 == scenarios.size())
-      std::fprintf(stderr, "  ... %zu/%zu scenarios done\n", s + 1,
-                   scenarios.size());
-  }
+  const SweepResult result = run_sweep(scenarios, kinds, options);
 
-  const PairwiseStats stats = compute_pairwise(curves);
+  const PairwiseStats stats = compute_pairwise(result.curves);
   std::printf("\nTable 2. Statistic for Dominance (out of %d scenarios).\n",
               stats.scenarios);
   std::fputs(stats.to_table(/*dominance_table=*/true).c_str(), stdout);

@@ -1,7 +1,8 @@
 // A miniature schedulability study: sweeps total utilization for one
-// scenario (default: the paper's Fig. 2(a) setup) and prints the
-// acceptance-ratio curve for all five approaches -- the same experiment
-// the bench_fig2 harness runs at full scale.
+// scenario (default: the paper's Fig. 2(a) setup) through the experiment
+// engine and prints the acceptance-ratio curve for all five approaches --
+// the same experiment the bench_fig2 harness runs at full scale, and a
+// minimal template for driving run_sweep() / summarize() yourself.
 //
 //   $ ./examples/schedulability_study [a|b|c|d] [samples]
 #include <cstdio>
@@ -19,11 +20,12 @@ int main(int argc, char** argv) {
   std::printf("Scenario (Fig. 2(%c)): %s\n", which, scenario.name().c_str());
   std::printf("samples per utilization point: %d\n\n", samples);
 
-  AcceptanceOptions options;
+  SweepOptions options;
   options.samples_per_point = samples;
   options.seed = 1;
-  const AcceptanceCurve curve =
-      run_acceptance(scenario, all_analysis_kinds(), options);
+  const SweepResult result =
+      run_sweep({scenario}, all_analysis_kinds(), options);
+  const AcceptanceCurve& curve = result.curves.front();
 
   std::fputs(curve.to_table().c_str(), stdout);
 
@@ -31,9 +33,11 @@ int main(int argc, char** argv) {
   for (std::size_t a = 0; a < curve.names.size(); ++a)
     std::printf("  %-10s accepted %5lld task sets\n", curve.names[a].c_str(),
                 static_cast<long long>(curve.total_accepted(a)));
-  if (curve.gen_stats.rfs.fallbacks || curve.gen_stats.failures)
+
+  const SweepSummary summary = summarize(result);
+  if (summary.gen_stats.rfs.fallbacks || summary.gen_stats.failures)
     std::printf("generator fallbacks: %lld, failures: %lld\n",
-                static_cast<long long>(curve.gen_stats.rfs.fallbacks),
-                static_cast<long long>(curve.gen_stats.failures));
+                static_cast<long long>(summary.gen_stats.rfs.fallbacks),
+                static_cast<long long>(summary.gen_stats.failures));
   return 0;
 }

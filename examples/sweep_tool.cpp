@@ -1,0 +1,175 @@
+// Unified sweep CLI over the parallel experiment engine (src/exp/).
+//
+// Runs any scenario set through any analysis set and renders/exports the
+// results; every experiment of the paper's Sec. VII is one invocation:
+//
+//   sweep_tool --scenarios fig2 --samples 100          # Fig. 2 curves
+//   sweep_tool --scenarios all --analyses locking \
+//              --samples 10 --tables                   # Tables 2 and 3
+//   sweep_tool --scenarios a --light 2 \
+//              --utils 0.2,0.3,0.4,0.5,0.6             # Sec. VI extension
+//   sweep_tool --scenarios all --csv out.csv --json out.json
+//
+// Environment defaults: DPCP_SAMPLES, DPCP_SEED, DPCP_THREADS (overridden
+// by the corresponding flags).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/dpcp.hpp"
+
+using namespace dpcp;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "Usage: %s [options]\n"
+      "  --scenarios SPEC  all | fig2 | a..d | first:K, comma-combinable\n"
+      "                    (default: fig2)\n"
+      "  --analyses LIST   comma list of ep,en,spin,lpp,fed, or\n"
+      "                    paper (all five) | locking (no fed)\n"
+      "                    (default: paper)\n"
+      "  --samples N       task sets per utilization point (default: 100)\n"
+      "  --seed S          root seed of the sweep (default: 42)\n"
+      "  --threads T       worker threads, 0 = hardware cores (default: 0)\n"
+      "  --light N         extra light tasks per set, Sec. VI (default: 0)\n"
+      "  --utils LIST      normalized utilization points, e.g. 0.2,0.4,0.6\n"
+      "                    (default: the paper's per-scenario grid)\n"
+      "  --csv PATH        write long-format CSV\n"
+      "  --json PATH       write JSON\n"
+      "  --curves          print per-scenario acceptance tables\n"
+      "                    (default when <= 8 scenarios)\n"
+      "  --tables          print pairwise dominance/outperformance tables\n"
+      "  --quiet           suppress progress on stderr\n",
+      argv0);
+  return 2;
+}
+
+bool parse_analyses(const std::string& list, std::vector<AnalysisKind>* out) {
+  if (list == "paper") {
+    *out = all_analysis_kinds();
+    return true;
+  }
+  if (list == "locking") {
+    *out = {AnalysisKind::kDpcpPEp, AnalysisKind::kDpcpPEn,
+            AnalysisKind::kSpinSon, AnalysisKind::kLpp};
+    return true;
+  }
+  for (const std::string& token : split(list, ',')) {
+    if (token == "ep") out->push_back(AnalysisKind::kDpcpPEp);
+    else if (token == "en") out->push_back(AnalysisKind::kDpcpPEn);
+    else if (token == "spin") out->push_back(AnalysisKind::kSpinSon);
+    else if (token == "lpp") out->push_back(AnalysisKind::kLpp);
+    else if (token == "fed") out->push_back(AnalysisKind::kFedFp);
+    else {
+      std::fprintf(stderr, "unknown analysis '%s'\n", token.c_str());
+      return false;
+    }
+  }
+  return !out->empty();
+}
+
+bool parse_doubles(const std::string& list, std::vector<double>* out) {
+  for (const std::string& token : split(list, ',')) {
+    char* rest = nullptr;
+    const double v = std::strtod(token.c_str(), &rest);
+    if (!rest || *rest || v <= 0.0) {
+      std::fprintf(stderr, "bad utilization '%s'\n", token.c_str());
+      return false;
+    }
+    out->push_back(v);
+  }
+  return !out->empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string scenario_spec = "fig2";
+  std::string analysis_list = "paper";
+  SweepOptions options = sweep_options_from_env(/*default_samples=*/100);
+  std::string csv_path, json_path;
+  bool want_curves = false, want_tables = false, quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(usage(argv[0]));
+      }
+      return argv[++i];
+    };
+    if (arg == "--scenarios") scenario_spec = value();
+    else if (arg == "--analyses") analysis_list = value();
+    else if (arg == "--samples") options.samples_per_point = std::max(1, std::atoi(value()));
+    else if (arg == "--seed") options.seed = static_cast<std::uint64_t>(std::atoll(value()));
+    else if (arg == "--threads") options.threads = std::max(0, std::atoi(value()));
+    else if (arg == "--light") options.light_tasks = std::max(0, std::atoi(value()));
+    else if (arg == "--utils") { options.norm_utilizations.clear(); if (!parse_doubles(value(), &options.norm_utilizations)) return usage(argv[0]); }
+    else if (arg == "--csv") csv_path = value();
+    else if (arg == "--json") json_path = value();
+    else if (arg == "--curves") want_curves = true;
+    else if (arg == "--tables") want_tables = true;
+    else if (arg == "--quiet") quiet = true;
+    else if (arg == "--help" || arg == "-h") return usage(argv[0]);
+    else { std::fprintf(stderr, "unknown option '%s'\n", arg.c_str()); return usage(argv[0]); }
+  }
+
+  std::string error;
+  const auto scenarios = scenarios_from_spec(scenario_spec, &error);
+  if (!scenarios || scenarios->empty()) {
+    std::fprintf(stderr, "%s\n", error.empty() ? "no scenarios" : error.c_str());
+    return usage(argv[0]);
+  }
+  std::vector<AnalysisKind> kinds;
+  if (!parse_analyses(analysis_list, &kinds)) return usage(argv[0]);
+
+  if (!quiet) {
+    std::fprintf(stderr, "sweep: %zu scenario(s), %zu analyses, %d samples/point, seed %llu\n",
+                 scenarios->size(), kinds.size(), options.samples_per_point,
+                 static_cast<unsigned long long>(options.seed));
+    options.progress = stderr_progress();
+  }
+
+  const SweepResult result = run_sweep(*scenarios, kinds, options);
+
+  if (want_curves || (!want_tables && scenarios->size() <= 8)) {
+    for (const AcceptanceCurve& curve : result.curves) {
+      std::printf("=== %s ===\n", curve.scenario.name().c_str());
+      std::fputs(curve.to_table().c_str(), stdout);
+      std::printf("\n");
+    }
+  }
+  if (want_tables) {
+    const PairwiseStats stats = compute_pairwise(result.curves);
+    std::printf("Dominance (out of %d scenarios):\n", stats.scenarios);
+    std::fputs(stats.to_table(/*dominance_table=*/true).c_str(), stdout);
+    std::printf("\nOutperformance (out of %d scenarios):\n", stats.scenarios);
+    std::fputs(stats.to_table(/*dominance_table=*/false).c_str(), stdout);
+    std::printf("\n");
+  }
+
+  std::printf("Summary over %zu scenario(s):\n", scenarios->size());
+  std::fputs(summarize(result).to_text().c_str(), stdout);
+
+  if (!csv_path.empty()) {
+    if (!write_sweep_csv(csv_path, result, &error)) {
+      std::fprintf(stderr, "csv: %s\n", error.c_str());
+      return 1;
+    }
+    if (!quiet) std::fprintf(stderr, "wrote %s\n", csv_path.c_str());
+  }
+  if (!json_path.empty()) {
+    if (!write_sweep_json(json_path, result, &error)) {
+      std::fprintf(stderr, "json: %s\n", error.c_str());
+      return 1;
+    }
+    if (!quiet) std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

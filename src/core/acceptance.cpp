@@ -1,10 +1,8 @@
 #include "core/acceptance.hpp"
 
-#include <atomic>
-#include <cstdlib>
-#include <mutex>
-#include <thread>
+#include <utility>
 
+#include "exp/engine.hpp"
 #include "util/table.hpp"
 
 namespace dpcp {
@@ -31,89 +29,26 @@ std::string AcceptanceCurve::to_table() const {
   return table.to_text();
 }
 
+// A single-scenario sweep through the experiment engine (exp/engine.hpp);
+// the engine's seeding scheme reproduces this function's historical
+// results bit-for-bit.
 AcceptanceCurve run_acceptance(const Scenario& scenario,
                                const std::vector<AnalysisKind>& kinds,
                                const AcceptanceOptions& options) {
-  AcceptanceCurve curve;
-  curve.scenario = scenario;
-  curve.utilization = utilization_grid(scenario);
-  for (AnalysisKind k : kinds) curve.names.push_back(analysis_kind_name(k));
-  const std::size_t points = curve.utilization.size();
-  curve.accepted.assign(kinds.size(),
-                        std::vector<std::int64_t>(points, 0));
-  curve.samples.assign(points, 0);
-
-  // Work items: (point, sample) pairs, processed by a small thread pool.
-  const int threads =
-      options.threads > 0
-          ? options.threads
-          : std::max(1u, std::thread::hardware_concurrency());
-  std::atomic<std::size_t> next{0};
-  const std::size_t total_items =
-      points * static_cast<std::size_t>(options.samples_per_point);
-  std::mutex merge_mutex;
-  Rng base(options.seed);
-
-  auto worker = [&]() {
-    // Per-worker analysis instances (analyses are stateless but cheap to
-    // clone; this keeps the call graph free of shared mutable state).
-    std::vector<std::unique_ptr<SchedAnalysis>> analyses;
-    for (AnalysisKind k : kinds) analyses.push_back(make_analysis(k));
-
-    std::vector<std::vector<std::int64_t>> local_accepted(
-        kinds.size(), std::vector<std::int64_t>(points, 0));
-    std::vector<std::int64_t> local_samples(points, 0);
-    GenStats local_gen;
-
-    for (;;) {
-      const std::size_t item = next.fetch_add(1);
-      if (item >= total_items) break;
-      const std::size_t point = item / options.samples_per_point;
-      const std::size_t sample = item % options.samples_per_point;
-
-      GenParams params;
-      params.scenario = scenario;
-      params.total_utilization = curve.utilization[point];
-      // Deterministic sub-stream per (point, sample).
-      Rng rng = base.fork((point << 20) ^ sample);
-      const auto ts = generate_taskset(rng, params, &local_gen);
-      if (!ts) continue;  // counted in gen stats; point sample skipped
-      ++local_samples[point];
-      for (std::size_t a = 0; a < analyses.size(); ++a) {
-        const PartitionOutcome outcome = analyses[a]->test(*ts, scenario.m);
-        if (outcome.schedulable) ++local_accepted[a][point];
-      }
-    }
-
-    std::lock_guard<std::mutex> lock(merge_mutex);
-    for (std::size_t a = 0; a < kinds.size(); ++a)
-      for (std::size_t p = 0; p < points; ++p)
-        curve.accepted[a][p] += local_accepted[a][p];
-    for (std::size_t p = 0; p < points; ++p)
-      curve.samples[p] += local_samples[p];
-    curve.gen_stats.rfs.attempts += local_gen.rfs.attempts;
-    curve.gen_stats.rfs.rejections += local_gen.rfs.rejections;
-    curve.gen_stats.rfs.fallbacks += local_gen.rfs.fallbacks;
-    curve.gen_stats.task_retries += local_gen.task_retries;
-    curve.gen_stats.usage_downscales += local_gen.usage_downscales;
-    curve.gen_stats.failures += local_gen.failures;
-  };
-
-  std::vector<std::thread> pool;
-  for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
-  for (auto& t : pool) t.join();
-  return curve;
+  SweepOptions sweep;
+  sweep.samples_per_point = options.samples_per_point;
+  sweep.seed = options.seed;
+  sweep.threads = options.threads;
+  SweepResult result = run_sweep({scenario}, kinds, sweep);
+  return std::move(result.curves.front());
 }
 
 AcceptanceOptions options_from_env(int default_samples) {
+  const SweepOptions sweep = sweep_options_from_env(default_samples);
   AcceptanceOptions options;
-  options.samples_per_point = default_samples;
-  if (const char* s = std::getenv("DPCP_SAMPLES"))
-    options.samples_per_point = std::max(1, std::atoi(s));
-  if (const char* s = std::getenv("DPCP_SEED"))
-    options.seed = static_cast<std::uint64_t>(std::atoll(s));
-  if (const char* s = std::getenv("DPCP_THREADS"))
-    options.threads = std::max(0, std::atoi(s));
+  options.samples_per_point = sweep.samples_per_point;
+  options.seed = sweep.seed;
+  options.threads = sweep.threads;
   return options;
 }
 

@@ -18,15 +18,27 @@
 
 namespace dpcp {
 
+/// One scenario's acceptance-ratio sweep: the per-analysis schedulability
+/// counts at every tested utilization point (one Fig. 2 curve bundle).
 struct AcceptanceCurve {
+  /// The scenario this curve was measured for.
   Scenario scenario;
-  std::vector<double> utilization;  // tested total utilizations
-  std::vector<std::string> names;   // analyses, display order
-  /// accepted[a][p] / samples[p]
+  /// Tested total utilizations, in sweep order (the paper grid is
+  /// ascending; custom point lists keep their input order).
+  std::vector<double> utilization;
+  /// Analysis display names, in the order the engine was given them.
+  std::vector<std::string> names;
+  /// accepted[a][p]: task sets analysis a deemed schedulable at point p;
+  /// divide by samples[p] for the acceptance ratio.
   std::vector<std::vector<std::int64_t>> accepted;
-  std::vector<std::int64_t> samples;  // per point (generation may skip)
+  /// Task sets actually tested per point (generation may skip a sample).
+  std::vector<std::int64_t> samples;
+  /// Generator health counters.  When the curve comes from a multi-
+  /// scenario run_sweep(), these are sweep-global and parked on the first
+  /// curve; see exp/engine.cpp.
   GenStats gen_stats;
 
+  /// Acceptance ratio of `analysis` at utilization point `point`.
   double ratio(std::size_t analysis, std::size_t point) const {
     return samples[point] == 0
                ? 0.0
@@ -41,10 +53,15 @@ struct AcceptanceCurve {
   std::string to_table() const;
 };
 
+/// Tuning knobs of a single-scenario acceptance experiment.  The richer
+/// multi-scenario interface lives in exp/engine.hpp (SweepOptions); this
+/// struct remains the stable facade for one-scenario callers.
 struct AcceptanceOptions {
+  /// Task sets generated per utilization point.
   int samples_per_point = 100;
+  /// Root seed; sample s of point p draws from Rng(seed).fork((p<<20)^s).
   std::uint64_t seed = 42;
-  /// 0 = one thread per hardware core.
+  /// Worker threads; 0 = one thread per hardware core.
   int threads = 0;
 };
 

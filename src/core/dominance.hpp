@@ -15,8 +15,12 @@
 
 namespace dpcp {
 
+/// Pairwise comparison counts over a set of scenario curves (the contents
+/// of the paper's Tables 2 and 3).
 struct PairwiseStats {
+  /// Analysis display names, shared row/column order of both matrices.
   std::vector<std::string> names;
+  /// Number of scenario curves the statistics were computed over.
   int scenarios = 0;
   /// counts[a][b] = number of scenarios where analysis a beats analysis b
   /// under the respective relation (diagonal unused).

@@ -16,6 +16,11 @@
 //   // Execute the protocol and validate Lemma 1 at runtime:
 //   auto sim = dpcp::simulate(*ts, outcome.partition);
 //   assert(sim.all_invariants_hold());
+//
+//   // Or sweep whole scenario grids through the experiment engine:
+//   auto result = dpcp::run_sweep(dpcp::all_scenarios(),
+//                                 dpcp::all_analysis_kinds(), {});
+//   dpcp::write_sweep_csv("sweep.csv", result);
 #pragma once
 
 #include "analysis/dpcp_p.hpp"
@@ -25,6 +30,9 @@
 #include "analysis/spin_son.hpp"
 #include "core/acceptance.hpp"
 #include "core/dominance.hpp"
+#include "exp/engine.hpp"
+#include "exp/grid.hpp"
+#include "exp/report.hpp"
 #include "gen/erdos_renyi.hpp"
 #include "gen/randfixedsum.hpp"
 #include "gen/scenario.hpp"

@@ -1,0 +1,205 @@
+#include "exp/engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "gen/taskset_gen.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace dpcp {
+
+std::uint64_t scenario_seed(std::uint64_t base_seed, std::size_t index) {
+  return base_seed + static_cast<std::uint64_t>(index) * 1000003ull;
+}
+
+SweepResult run_sweep(const std::vector<Scenario>& scenarios,
+                      const std::vector<AnalysisKind>& kinds,
+                      const SweepOptions& options) {
+  const std::size_t n_scen = scenarios.size();
+  const std::size_t n_kind = kinds.size();
+  // The per-sample RNG key is (point << 20) ^ sample, so sample indices
+  // must stay below 2^20 or sub-streams would alias across points.
+  const std::size_t samples = static_cast<std::size_t>(
+      std::min(std::max(1, options.samples_per_point), 1 << 20));
+
+  SweepResult result;
+  result.curves.resize(n_scen);
+
+  // Per-scenario curve skeletons and item-index offsets.  Scenarios may
+  // have different utilization grids (the paper grid depends on m), so the
+  // flat item space is laid out scenario by scenario.
+  std::vector<std::size_t> offset(n_scen + 1, 0);
+  for (std::size_t s = 0; s < n_scen; ++s) {
+    AcceptanceCurve& curve = result.curves[s];
+    curve.scenario = scenarios[s];
+    if (options.norm_utilizations.empty()) {
+      curve.utilization = utilization_grid(scenarios[s]);
+    } else {
+      for (double nu : options.norm_utilizations)
+        curve.utilization.push_back(nu * scenarios[s].m);
+    }
+    for (AnalysisKind k : kinds) curve.names.push_back(analysis_kind_name(k));
+    const std::size_t points = curve.utilization.size();
+    curve.accepted.assign(n_kind, std::vector<std::int64_t>(points, 0));
+    curve.samples.assign(points, 0);
+    offset[s + 1] = offset[s] + points * samples;
+  }
+  const std::size_t total_items = offset[n_scen];
+
+  const int threads =
+      options.threads > 0
+          ? options.threads
+          : static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+
+  std::atomic<std::size_t> next{0};
+  std::vector<std::atomic<std::size_t>> remaining(n_scen);
+  for (std::size_t s = 0; s < n_scen; ++s)
+    remaining[s].store(offset[s + 1] - offset[s]);
+  std::size_t scenarios_done = 0;  // guarded by progress_mutex
+  std::mutex merge_mutex;
+  std::mutex progress_mutex;
+
+  std::vector<std::uint64_t> seeds(n_scen);
+  for (std::size_t s = 0; s < n_scen; ++s)
+    seeds[s] = scenario_seed(options.seed, s);
+
+  auto worker = [&]() {
+    // Per-worker analysis instances and per-scenario accumulators; the
+    // shared curves are touched only once, under the merge mutex.
+    std::vector<std::unique_ptr<SchedAnalysis>> analyses;
+    for (AnalysisKind k : kinds) analyses.push_back(make_analysis(k));
+
+    std::vector<std::vector<std::vector<std::int64_t>>> local_accepted(n_scen);
+    std::vector<std::vector<std::int64_t>> local_samples(n_scen);
+    for (std::size_t s = 0; s < n_scen; ++s) {
+      const std::size_t points = result.curves[s].utilization.size();
+      local_accepted[s].assign(n_kind, std::vector<std::int64_t>(points, 0));
+      local_samples[s].assign(points, 0);
+    }
+    GenStats local_gen;
+
+    for (;;) {
+      const std::size_t item = next.fetch_add(1);
+      if (item >= total_items) break;
+      const std::size_t s =
+          static_cast<std::size_t>(
+              std::upper_bound(offset.begin(), offset.end(), item) -
+              offset.begin()) -
+          1;
+      const std::size_t within = item - offset[s];
+      const std::size_t point = within / samples;
+      const std::size_t sample = within % samples;
+      const AcceptanceCurve& curve = result.curves[s];
+
+      GenParams params;
+      params.scenario = scenarios[s];
+      params.total_utilization = curve.utilization[point];
+      params.light_tasks = options.light_tasks;
+      // Deterministic sub-stream per (scenario, point, sample): thread
+      // assignment cannot change what any sample sees.
+      Rng rng = Rng(seeds[s]).fork((point << 20) ^ sample);
+      const auto ts = generate_taskset(rng, params, &local_gen);
+      if (ts) {
+        ++local_samples[s][point];
+        for (std::size_t a = 0; a < analyses.size(); ++a)
+          if (analyses[a]->test(*ts, scenarios[s].m).schedulable)
+            ++local_accepted[s][a][point];
+      }
+      if (remaining[s].fetch_sub(1) == 1 && options.progress) {
+        // Count and report under one lock so `done` values reach the
+        // callback in increasing order.
+        std::lock_guard<std::mutex> lock(progress_mutex);
+        options.progress(++scenarios_done, n_scen);
+      }
+    }
+
+    std::lock_guard<std::mutex> lock(merge_mutex);
+    for (std::size_t s = 0; s < n_scen; ++s) {
+      AcceptanceCurve& curve = result.curves[s];
+      const std::size_t points = curve.utilization.size();
+      for (std::size_t a = 0; a < n_kind; ++a)
+        for (std::size_t p = 0; p < points; ++p)
+          curve.accepted[a][p] += local_accepted[s][a][p];
+      for (std::size_t p = 0; p < points; ++p)
+        curve.samples[p] += local_samples[s][p];
+    }
+    // Generator stats are sweep-global; park them on the first curve and
+    // let summarize() report them (per-scenario attribution would require
+    // per-item stats plumbing for no analytical benefit).
+    if (n_scen > 0) result.curves[0].gen_stats.merge(local_gen);
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  return result;
+}
+
+std::string SweepSummary::to_text() const {
+  Table table({"analysis", "accepted", "total", "ratio", "scen-ratio mean",
+               "min", "max"});
+  for (std::size_t a = 0; a < names.size(); ++a) {
+    table.add_row({names[a],
+                   strfmt("%lld", static_cast<long long>(totals[a].accepted())),
+                   strfmt("%lld", static_cast<long long>(totals[a].total())),
+                   strfmt("%.3f", totals[a].ratio()),
+                   strfmt("%.3f", scenario_ratio[a].mean()),
+                   strfmt("%.3f", scenario_ratio[a].min()),
+                   strfmt("%.3f", scenario_ratio[a].max())});
+  }
+  std::string out = table.to_text();
+  if (gen_stats.failures || gen_stats.rfs.fallbacks)
+    out += strfmt("generator fallbacks: %lld, failures: %lld\n",
+                  static_cast<long long>(gen_stats.rfs.fallbacks),
+                  static_cast<long long>(gen_stats.failures));
+  return out;
+}
+
+SweepSummary summarize(const SweepResult& result) {
+  SweepSummary summary;
+  if (result.curves.empty()) return summary;
+  summary.names = result.curves.front().names;
+  summary.totals.resize(summary.names.size());
+  summary.scenario_ratio.resize(summary.names.size());
+  for (const AcceptanceCurve& curve : result.curves) {
+    summary.gen_stats.merge(curve.gen_stats);
+    for (std::size_t a = 0; a < summary.names.size(); ++a) {
+      RunningStat per_scenario;
+      for (std::size_t p = 0; p < curve.utilization.size(); ++p) {
+        summary.totals[a].add_many(curve.accepted[a][p], curve.samples[p]);
+        per_scenario.add(curve.ratio(a, p));
+      }
+      summary.scenario_ratio[a].add(per_scenario.mean());
+    }
+  }
+  return summary;
+}
+
+std::function<void(std::size_t, std::size_t)> stderr_progress(
+    std::size_t every) {
+  return [every](std::size_t done, std::size_t total) {
+    if (every <= 1 || done % every == 0 || done == total)
+      std::fprintf(stderr, "  ... %zu/%zu scenarios done\n", done, total);
+  };
+}
+
+SweepOptions sweep_options_from_env(int default_samples) {
+  SweepOptions options;
+  options.samples_per_point = default_samples;
+  if (const char* s = std::getenv("DPCP_SAMPLES"))
+    options.samples_per_point = std::max(1, std::atoi(s));
+  if (const char* s = std::getenv("DPCP_SEED"))
+    options.seed = static_cast<std::uint64_t>(std::atoll(s));
+  if (const char* s = std::getenv("DPCP_THREADS"))
+    options.threads = std::max(0, std::atoi(s));
+  return options;
+}
+
+}  // namespace dpcp

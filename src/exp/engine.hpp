@@ -1,0 +1,97 @@
+// Parallel experiment engine: the one sweep loop every driver shares.
+//
+// The paper's empirical section (Sec. VII) is a grid of 216 scenarios, each
+// swept over a total-utilization range with R randomly generated task sets
+// per point, each task set tested by up to five analyses.  This engine owns
+// that triple loop once, for any scenario list:
+//
+//   * work items are (scenario, utilization point, sample) triples drained
+//     by a thread pool;
+//   * every sample draws from a deterministic RNG sub-stream keyed on its
+//     (scenario, point, sample) coordinates, so results are bit-identical
+//     at 1 or N worker threads;
+//   * all analyses see the *same* task sets (paired comparison, as in the
+//     paper's footnote 1), and acceptance counts merge additively.
+//
+// Drivers (bench/, examples/) differ only in which scenarios they pass in
+// and how they render the returned curves; see exp/report.hpp for CSV/JSON
+// emission and core/dominance.hpp for the Tables 2-3 statistics.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/acceptance.hpp"
+#include "gen/scenario.hpp"
+#include "util/stats.hpp"
+
+namespace dpcp {
+
+/// Knobs of one sweep; the defaults reproduce the paper's setup.
+struct SweepOptions {
+  /// Task sets generated per (scenario, utilization) point; capped at
+  /// 2^20 so per-sample RNG sub-streams cannot alias across points.
+  int samples_per_point = 100;
+  /// Root seed of the whole sweep; see scenario_seed() for derivation.
+  std::uint64_t seed = 42;
+  /// Worker threads; 0 = one per hardware core.
+  int threads = 0;
+  /// Sec. VI extension: extra light tasks generated per task set.
+  int light_tasks = 0;
+  /// Normalized utilization points (fraction of m) overriding the paper's
+  /// per-scenario grid of utilization_grid(); empty = paper grid.
+  std::vector<double> norm_utilizations;
+  /// Invoked whenever a scenario finishes, as (scenarios done, total).
+  /// Called from worker threads, serialized by the engine.
+  std::function<void(std::size_t, std::size_t)> progress;
+};
+
+/// One AcceptanceCurve per input scenario, in input order.
+struct SweepResult {
+  std::vector<AcceptanceCurve> curves;
+};
+
+/// Base seed of scenario `index` within a sweep rooted at `base_seed`.
+/// Sample s of utilization point p of that scenario then draws from
+/// Rng(scenario_seed(...)).fork((p << 20) ^ s) -- the historical scheme of
+/// run_acceptance() (index 0 uses `base_seed` itself), kept so single-
+/// scenario sweeps reproduce pre-engine results bit-for-bit.
+std::uint64_t scenario_seed(std::uint64_t base_seed, std::size_t index);
+
+/// Runs the full grid: every scenario x utilization point x sample, testing
+/// every analysis in `kinds` on each generated task set.
+SweepResult run_sweep(const std::vector<Scenario>& scenarios,
+                      const std::vector<AnalysisKind>& kinds,
+                      const SweepOptions& options = {});
+
+/// Cross-scenario aggregates of one sweep, via util/stats.
+struct SweepSummary {
+  /// Analysis display names, in sweep order.
+  std::vector<std::string> names;
+  /// Per analysis: accepted/total over every scenario and point (the
+  /// outperformance metric of Table 3, summed over the whole sweep).
+  std::vector<AcceptanceCounter> totals;
+  /// Per analysis: distribution of the per-scenario mean acceptance ratio.
+  std::vector<RunningStat> scenario_ratio;
+  /// Generator health counters merged over the whole sweep.
+  GenStats gen_stats;
+
+  /// Aligned per-analysis table (accepted, totals, ratio distribution).
+  std::string to_text() const;
+};
+
+SweepSummary summarize(const SweepResult& result);
+
+/// Reads DPCP_SAMPLES / DPCP_SEED / DPCP_THREADS from the environment into
+/// a SweepOptions (the bench binaries' tuning knobs).
+SweepOptions sweep_options_from_env(int default_samples);
+
+/// Standard CLI progress reporter: prints "  ... done/total scenarios
+/// done" to stderr every `every` completions and at the end; `every` of
+/// 0 or 1 reports every completion.
+std::function<void(std::size_t, std::size_t)> stderr_progress(
+    std::size_t every = 20);
+
+}  // namespace dpcp

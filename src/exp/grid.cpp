@@ -1,0 +1,70 @@
+#include "exp/grid.hpp"
+
+#include <cstdlib>
+
+#include "util/table.hpp"
+
+namespace dpcp {
+
+std::size_t ScenarioGrid::size() const {
+  return m_values.size() * nr_ranges.size() * u_avg_values.size() *
+         p_r_values.size() * n_req_max_values.size() * cs_ranges.size();
+}
+
+std::vector<Scenario> ScenarioGrid::build() const {
+  std::vector<Scenario> out;
+  out.reserve(size());
+  for (int m : m_values)
+    for (const auto& nr : nr_ranges)
+      for (double ua : u_avg_values)
+        for (double pr : p_r_values)
+          for (int nq : n_req_max_values)
+            for (const auto& cs : cs_ranges) {
+              Scenario s;
+              s.m = m;
+              s.nr_min = nr.first;
+              s.nr_max = nr.second;
+              s.u_avg = ua;
+              s.p_r = pr;
+              s.n_req_max = nq;
+              s.cs_min = cs.first;
+              s.cs_max = cs.second;
+              out.push_back(s);
+            }
+  return out;
+}
+
+std::optional<std::vector<Scenario>> scenarios_from_spec(
+    const std::string& spec, std::string* error) {
+  std::vector<Scenario> out;
+  for (const std::string& token : split(spec, ',')) {
+    if (token == "all") {
+      const auto grid = all_scenarios();
+      out.insert(out.end(), grid.begin(), grid.end());
+    } else if (token == "fig2") {
+      for (char c : {'a', 'b', 'c', 'd'}) out.push_back(fig2_scenario(c));
+    } else if (token.size() == 1 && token[0] >= 'a' && token[0] <= 'd') {
+      out.push_back(fig2_scenario(token[0]));
+    } else if (token.rfind("first:", 0) == 0) {
+      char* rest = nullptr;
+      const long k = std::strtol(token.c_str() + 6, &rest, 10);
+      if (!rest || *rest || k <= 0) {
+        if (error) *error = strfmt("bad scenario count in '%s'", token.c_str());
+        return std::nullopt;
+      }
+      auto grid = all_scenarios();
+      if (static_cast<std::size_t>(k) < grid.size())
+        grid.resize(static_cast<std::size_t>(k));
+      out.insert(out.end(), grid.begin(), grid.end());
+    } else {
+      if (error)
+        *error = strfmt(
+            "unknown scenario spec '%s' (expect all | fig2 | a..d | first:K)",
+            token.c_str());
+      return std::nullopt;
+    }
+  }
+  return out;
+}
+
+}  // namespace dpcp

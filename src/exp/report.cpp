@@ -1,0 +1,106 @@
+#include "exp/report.hpp"
+
+#include "io/taskset_io.hpp"
+#include "util/table.hpp"
+
+namespace dpcp {
+
+namespace {
+
+// Scenario names are printf-generated ASCII, but quote defensively.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20)
+          out += strfmt("\\u%04x", c);
+        else
+          out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string sweep_to_csv(const SweepResult& result) {
+  Table table({"scenario", "m", "nr_min", "nr_max", "u_avg", "p_r",
+               "n_req_max", "cs_min_us", "cs_max_us", "norm_util", "util",
+               "samples", "analysis", "accepted", "ratio"});
+  for (const AcceptanceCurve& curve : result.curves) {
+    const Scenario& sc = curve.scenario;
+    for (std::size_t p = 0; p < curve.utilization.size(); ++p)
+      for (std::size_t a = 0; a < curve.names.size(); ++a)
+        table.add_row(
+            {sc.name(), strfmt("%d", sc.m), strfmt("%d", sc.nr_min),
+             strfmt("%d", sc.nr_max), strfmt("%g", sc.u_avg),
+             strfmt("%g", sc.p_r), strfmt("%d", sc.n_req_max),
+             strfmt("%lld", static_cast<long long>(sc.cs_min / kMicrosecond)),
+             strfmt("%lld", static_cast<long long>(sc.cs_max / kMicrosecond)),
+             strfmt("%.4f", curve.utilization[p] / sc.m),
+             strfmt("%.4f", curve.utilization[p]),
+             strfmt("%lld", static_cast<long long>(curve.samples[p])),
+             curve.names[a],
+             strfmt("%lld", static_cast<long long>(curve.accepted[a][p])),
+             strfmt("%.6f", curve.ratio(a, p))});
+  }
+  return table.to_csv();
+}
+
+std::string sweep_to_json(const SweepResult& result) {
+  std::string out = "{\n  \"scenarios\": [";
+  for (std::size_t s = 0; s < result.curves.size(); ++s) {
+    const AcceptanceCurve& curve = result.curves[s];
+    const Scenario& sc = curve.scenario;
+    out += s ? ",\n    {" : "\n    {";
+    out += strfmt(
+        "\"name\": \"%s\", \"m\": %d, \"nr_min\": %d, \"nr_max\": %d, "
+        "\"u_avg\": %g, \"p_r\": %g, \"n_req_max\": %d, \"cs_min_us\": %lld, "
+        "\"cs_max_us\": %lld,",
+        json_escape(sc.name()).c_str(), sc.m, sc.nr_min, sc.nr_max, sc.u_avg,
+        sc.p_r, sc.n_req_max,
+        static_cast<long long>(sc.cs_min / kMicrosecond),
+        static_cast<long long>(sc.cs_max / kMicrosecond));
+    out += "\n     \"utilization\": [";
+    for (std::size_t p = 0; p < curve.utilization.size(); ++p)
+      out += strfmt("%s%.4f", p ? ", " : "", curve.utilization[p]);
+    out += "], \"samples\": [";
+    for (std::size_t p = 0; p < curve.samples.size(); ++p)
+      out += strfmt("%s%lld", p ? ", " : "",
+                    static_cast<long long>(curve.samples[p]));
+    out += "],\n     \"analyses\": [";
+    for (std::size_t a = 0; a < curve.names.size(); ++a) {
+      out += a ? ",\n       {" : "\n       {";
+      out += strfmt("\"name\": \"%s\", \"accepted\": [",
+                    json_escape(curve.names[a]).c_str());
+      for (std::size_t p = 0; p < curve.accepted[a].size(); ++p)
+        out += strfmt("%s%lld", p ? ", " : "",
+                      static_cast<long long>(curve.accepted[a][p]));
+      out += "], \"ratio\": [";
+      for (std::size_t p = 0; p < curve.accepted[a].size(); ++p)
+        out += strfmt("%s%.6f", p ? ", " : "", curve.ratio(a, p));
+      out += "]}";
+    }
+    out += "]}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+bool write_sweep_csv(const std::string& path, const SweepResult& result,
+                     std::string* error) {
+  return write_text_file(path, sweep_to_csv(result), error);
+}
+
+bool write_sweep_json(const std::string& path, const SweepResult& result,
+                      std::string* error) {
+  return write_text_file(path, sweep_to_json(result), error);
+}
+
+}  // namespace dpcp

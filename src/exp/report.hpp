@@ -1,0 +1,33 @@
+// Result emission for sweeps: CSV and JSON serializations of a
+// SweepResult, plus file-writing conveniences over io/.
+//
+// CSV is long format -- one row per (scenario, utilization point,
+// analysis) with the full scenario coordinates repeated per row -- so the
+// output loads directly into pandas / R / a spreadsheet pivot.  JSON
+// mirrors the in-memory shape (scenario objects holding per-analysis
+// acceptance arrays) for programmatic consumers.
+#pragma once
+
+#include <string>
+
+#include "exp/engine.hpp"
+
+namespace dpcp {
+
+/// Long-format CSV: header then one row per (scenario, point, analysis)
+/// with columns scenario,m,nr_min,nr_max,u_avg,p_r,n_req_max,cs_min_us,
+/// cs_max_us,norm_util,util,samples,analysis,accepted,ratio.
+std::string sweep_to_csv(const SweepResult& result);
+
+/// JSON document: {"scenarios": [{name, m, ..., utilization: [...],
+/// samples: [...], analyses: [{name, accepted: [...], ratio: [...]}]}]}.
+std::string sweep_to_json(const SweepResult& result);
+
+/// Serialize-and-write wrappers over io/'s write_text_file; on failure
+/// return false and describe the problem in `error`.
+bool write_sweep_csv(const std::string& path, const SweepResult& result,
+                     std::string* error = nullptr);
+bool write_sweep_json(const std::string& path, const SweepResult& result,
+                      std::string* error = nullptr);
+
+}  // namespace dpcp

@@ -56,6 +56,17 @@ struct GenStats {
   std::int64_t task_retries = 0;       // per-task structure resamples
   std::int64_t usage_downscales = 0;   // times resource demand was clamped
   std::int64_t failures = 0;           // task sets abandoned entirely
+
+  /// Fold another accumulator in (all counters are additive); used by the
+  /// experiment engine to combine per-worker statistics.
+  void merge(const GenStats& o) {
+    rfs.attempts += o.rfs.attempts;
+    rfs.rejections += o.rfs.rejections;
+    rfs.fallbacks += o.rfs.fallbacks;
+    task_retries += o.task_retries;
+    usage_downscales += o.usage_downscales;
+    failures += o.failures;
+  }
 };
 
 /// Generates one task set; nullopt only if constraints could not be met

@@ -47,6 +47,13 @@ class AcceptanceCounter {
     ++total_;
     if (accepted) ++accepted_;
   }
+  /// Bulk form: fold in `accepted` schedulable task sets out of `total`
+  /// tested (pre-counted, e.g. one utilization point of a sweep).
+  void add_many(std::int64_t accepted, std::int64_t total) {
+    assert(0 <= accepted && accepted <= total);
+    total_ += total;
+    accepted_ += accepted;
+  }
   void merge(const AcceptanceCounter& o) {
     total_ += o.total_;
     accepted_ += o.accepted_;

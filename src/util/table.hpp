@@ -34,4 +34,8 @@ class Table {
 /// printf-style helper returning std::string.
 std::string strfmt(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 
+/// Splits on `sep`, dropping empty tokens ("a,,b" -> {"a","b"}).  The
+/// drivers' comma-separated list flags all parse through this.
+std::vector<std::string> split(const std::string& s, char sep);
+
 }  // namespace dpcp
