@@ -25,7 +25,7 @@ double acceptance(const Scenario& sc, double util, int samples,
   DpcpPOptions opt;
   opt.max_signatures = max_sigs;
   DpcpPAnalysis ep(DpcpPAnalysis::PathMode::kEnumerate, opt);
-  WcrtOracle oracle = [&](const TaskSet& t, const Partition& p, int i,
+  WcrtFn oracle = [&](const TaskSet& t, const Partition& p, int i,
                           const std::vector<Time>& hint) {
     return ep.wcrt(t, p, i, hint);
   };

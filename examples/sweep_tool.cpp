@@ -4,10 +4,10 @@
 // results; every experiment of the paper's Sec. VII is one invocation:
 //
 //   sweep_tool --scenarios fig2 --samples 100          # Fig. 2 curves
-//   sweep_tool --scenarios all --analyses locking \
-//              --samples 10 --tables                   # Tables 2 and 3
-//   sweep_tool --scenarios a --light 2 \
-//              --utils 0.2,0.3,0.4,0.5,0.6             # Sec. VI extension
+//   sweep_tool --scenarios all --analyses locking --samples 10 --tables
+//                                                      # Tables 2 and 3
+//   sweep_tool --scenarios a --light 2 --utils 0.2,0.3,0.4,0.5,0.6
+//                                                      # Sec. VI extension
 //   sweep_tool --scenarios all --csv out.csv --json out.json
 //
 // Environment defaults: DPCP_SAMPLES, DPCP_SEED, DPCP_THREADS (overridden
@@ -39,6 +39,9 @@ int usage(const char* argv0) {
       "  --light N         extra light tasks per set, Sec. VI (default: 0)\n"
       "  --utils LIST      normalized utilization points, e.g. 0.2,0.4,0.6\n"
       "                    (default: the paper's per-scenario grid)\n"
+      "  --max-paths N     EP path-enumeration DFS budget (default: 100000)\n"
+      "  --max-signatures N  EP signature budget before the envelope\n"
+      "                    fallback kicks in (default: 20000)\n"
       "  --csv PATH        write long-format CSV\n"
       "  --json PATH       write JSON\n"
       "  --curves          print per-scenario acceptance tables\n"
@@ -111,6 +114,8 @@ int main(int argc, char** argv) {
     else if (arg == "--threads") options.threads = std::max(0, std::atoi(value()));
     else if (arg == "--light") options.light_tasks = std::max(0, std::atoi(value()));
     else if (arg == "--utils") { options.norm_utilizations.clear(); if (!parse_doubles(value(), &options.norm_utilizations)) return usage(argv[0]); }
+    else if (arg == "--max-paths") options.analysis.max_paths = std::max(1LL, static_cast<long long>(std::atoll(value())));
+    else if (arg == "--max-signatures") options.analysis.max_signatures = std::max(1LL, static_cast<long long>(std::atoll(value())));
     else if (arg == "--csv") csv_path = value();
     else if (arg == "--json") json_path = value();
     else if (arg == "--curves") want_curves = true;

@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
-#include <map>
+#include <unordered_map>
+#include <utility>
 
 #include "analysis/rta_common.hpp"
 #include "model/paths.hpp"
@@ -11,37 +12,61 @@
 namespace dpcp {
 namespace {
 
-/// All per-call state of one task's DPCP-p analysis.
-class TaskAnalysis {
- public:
-  TaskAnalysis(const TaskSet& ts, const Partition& part, int i,
-               const std::vector<Time>& hint)
-      : ts_(ts), part_(part), i_(i), hint_(hint), ti_(ts.task(i)) {
-    mi_ = part.cluster_size(i);
-    assert(mi_ >= 1);
-    deadline_ = ti_.deadline();
-    contention_ = build_processor_contention(ts, part, i);
-
-    for (ResourceId q : ti_.used_resources())
-      if (ts.is_local(q)) my_locals_.push_back(q);
-
-    // Phi^p(tau_i): global resources hosted by tau_i's own cluster, and the
-    // per-task agent demand they attract (Lemma 6).
-    cluster_globals_.clear();
-    for (ResourceId q : part.resources_on_cluster(i))
-      if (ts.is_global(q)) cluster_globals_.push_back(q);
-    for (int j = 0; j < ts.size(); ++j) {
-      if (j == i) continue;
-      Time demand = 0;
-      for (ResourceId q : cluster_globals_)
-        demand += ts.task(j).usage(q).demand();
-      if (demand > 0) agent_demand_.emplace_back(j, demand);
-    }
-
-    // P-FP preemption by co-located higher-priority tasks (non-empty only
-    // for light tasks on shared processors, Sec. VI).
-    preempt_demand_ = preemption_demand(ts, part, i);
+/// Hash for the (resource, intra-ahead) key of the Lemma-2 response memo.
+/// Flat probing beats the former std::map's pointer chasing on the hot
+/// path; the splitmix-style mix spreads the Time component so consecutive
+/// intra-ahead values do not cluster.
+struct ResourceTimeHash {
+  std::size_t operator()(const std::pair<ResourceId, Time>& k) const {
+    std::uint64_t h = static_cast<std::uint64_t>(k.second) +
+                      0x9E3779B97F4A7C15ull *
+                          (static_cast<std::uint64_t>(k.first) + 1);
+    h ^= h >> 30;
+    h *= 0xBF58476D1CE4E5B9ull;
+    h ^= h >> 27;
+    return static_cast<std::size_t>(h);
   }
+};
+
+using ResponseMemo = std::unordered_map<std::pair<ResourceId, Time>,
+                                        std::optional<Time>, ResourceTimeHash>;
+
+/// Partition-dependent tables of one task (the Lemma 2-6 inputs), valid
+/// for the currently bound partition while !dirty.
+struct TaskTables {
+  bool dirty = true;
+  int mi = 1;
+  bool shares_processor = false;
+  std::vector<ProcessorContention> contention;
+  /// Phi^p(tau_i): global resources hosted by tau_i's own cluster.
+  std::vector<ResourceId> cluster_globals;
+  /// Per-task agent demand those globals attract (Lemma 6).
+  std::vector<std::pair<int, Time>> agent_demand;
+  /// P-FP preemption by co-located higher-priority tasks (Sec. VI).
+  std::vector<std::pair<int, Time>> preempt_demand;
+  /// Memo of the last query against these tables: with identical hints the
+  /// bound is identical (the analysis is pure in (tables, hint)).
+  bool have_result = false;
+  std::vector<Time> last_hint;
+  std::optional<Time> last_result;
+};
+
+/// One wcrt() query: evaluates Theorem 1 path bounds against cached tables
+/// and a fixed hint vector, memoizing Lemma-2 responses across the query's
+/// path signatures.
+class QueryContext {
+ public:
+  QueryContext(const TaskSet& ts, int i, const TaskTables& tables,
+               const std::vector<ResourceId>& my_locals,
+               const std::vector<ResourceId>& used,
+               const std::vector<Time>& hint)
+      : ts_(ts),
+        ti_(ts.task(i)),
+        tables_(tables),
+        my_locals_(my_locals),
+        used_(used),
+        hint_(hint),
+        deadline_(ts.task(i).deadline()) {}
 
   /// Lemma 2: response time of a request from tau_i to q, where
   /// `intra_ahead` = sum over globals co-hosted with q of the *off-path*
@@ -67,13 +92,10 @@ class TaskAnalysis {
                                  bool envelope) {
     // ---- per-processor epsilon (Lemma 3) and global intra blocking b^G
     // (Lemma 4) -- constants w.r.t. the outer recurrence.
-    struct ProcTerm {
-      Time eps = 0;
-      const ProcessorContention* pc = nullptr;
-    };
-    std::vector<ProcTerm> proc_terms;
+    std::vector<ProcTerm>& proc_terms = proc_terms_;
+    proc_terms.clear();
     Time b_global = 0;
-    for (const auto& pc : contention_) {
+    for (const auto& pc : tables_.contention) {
       // Off-path demand of tau_i on this processor's globals, and
       // sigma_{i,k}: does the path request a global on this processor?
       Time off_path = 0;
@@ -133,7 +155,7 @@ class TaskAnalysis {
         i_intra += ti_.usage(q).demand();
     } else {
       Time cs_on_path = 0;
-      for (ResourceId q : ti_.used_resources())
+      for (ResourceId q : used_)
         cs_on_path += static_cast<Time>(nlam[static_cast<std::size_t>(q)]) *
                       ti_.usage(q).cs_length;
       i_intra = ti_.noncrit_wcet() - (path_len - cs_on_path);
@@ -146,7 +168,7 @@ class TaskAnalysis {
 
     // ---- agent interference constants (Lemma 6, breve term).
     Time ia_const = 0;
-    for (ResourceId q : cluster_globals_) {
+    for (ResourceId q : tables_.cluster_globals) {
       const auto& use = ti_.usage(q);
       if (!use.used()) continue;
       const int on_path =
@@ -167,82 +189,180 @@ class TaskAnalysis {
         blocking += std::min(term.eps, zeta);
       }
       Time ia = ia_const;
-      for (const auto& [j, demand] : agent_demand_)
+      for (const auto& [j, demand] : tables_.agent_demand)
         ia += eta(r, hint_[static_cast<std::size_t>(j)],
                   ts_.task(j).period()) *
               demand;
       return path_len + blocking + b_local + b_global +
-             div_ceil(i_intra + ia, mi_) +
-             preemption(preempt_demand_, ts_, hint_, r);
+             div_ceil(i_intra + ia, tables_.mi) +
+             preemption(tables_.preempt_demand, ts_, hint_, r);
     };
     return solve_fixed_point(f, path_len, deadline_).value;
   }
 
+ private:
+  struct ProcTerm {
+    Time eps = 0;
+    const ProcessorContention* pc = nullptr;
+  };
+
   const TaskSet& ts_;
-  const Partition& part_;
-  const int i_;
-  const std::vector<Time>& hint_;
   const DagTask& ti_;
-  int mi_ = 1;
-  Time deadline_ = 0;
-  std::vector<ProcessorContention> contention_;
-  std::vector<ResourceId> my_locals_;
-  std::vector<ResourceId> cluster_globals_;
-  std::vector<std::pair<int, Time>> agent_demand_;
-  std::vector<std::pair<int, Time>> preempt_demand_;
-  std::map<std::pair<ResourceId, Time>, std::optional<Time>> w_memo_;
+  const TaskTables& tables_;
+  const std::vector<ResourceId>& my_locals_;
+  const std::vector<ResourceId>& used_;  // ti_.used_resources(), cached
+  const std::vector<Time>& hint_;
+  const Time deadline_;
+  ResponseMemo w_memo_;
+  std::vector<ProcTerm> proc_terms_;  // per-call scratch, reused
+};
+
+class DpcpPPrepared final : public PreparedAnalysis {
+ public:
+  DpcpPPrepared(AnalysisSession& session, DpcpPAnalysis::PathMode mode,
+                DpcpPOptions options)
+      : PreparedAnalysis(session),
+        mode_(mode),
+        options_(options),
+        tables_(static_cast<std::size_t>(ts_.size())),
+        statics_(static_cast<std::size_t>(ts_.size())) {}
+
+  std::optional<Time> wcrt(int task,
+                           const std::vector<Time>& hint) override {
+    TaskTables& tb = tables_[static_cast<std::size_t>(task)];
+    if (tb.dirty) {
+      rebuild(task, tb);
+    } else if (tb.have_result && tb.last_hint == hint) {
+      return tb.last_result;
+    }
+    const auto r = compute(task, tb, hint);
+    tb.have_result = true;
+    tb.last_hint = hint;
+    tb.last_result = r;
+    return r;
+  }
+
+ protected:
+  void partition_inputs(const Partition& part, int task,
+                        std::vector<Time>* out) const override {
+    // Everything Lemmas 2-6 read from the partition: tau_i's own cluster
+    // (m_i, agent set), its co-hosted tasks (preemption, shared-processor
+    // classification), and the full resource placement (contention tables
+    // span every processor hosting a global).
+    append_cluster(part, task, out);
+    append_cohosted(part, task, out);
+    append_placement(part, out);
+  }
+
+  void invalidate(int task) override {
+    TaskTables& tb = tables_[static_cast<std::size_t>(task)];
+    tb.dirty = true;
+    tb.have_result = false;
+  }
+
+ private:
+  /// Partition-independent per-task lists (session lifetime, lazy).
+  struct TaskStatics {
+    bool ready = false;
+    std::vector<ResourceId> used;       // used_resources()
+    std::vector<ResourceId> my_locals;  // the local subset
+  };
+
+  const TaskStatics& statics(int task) {
+    TaskStatics& st = statics_[static_cast<std::size_t>(task)];
+    if (!st.ready) {
+      st.used = ts_.task(task).used_resources();
+      for (ResourceId q : st.used)
+        if (ts_.is_local(q)) st.my_locals.push_back(q);
+      st.ready = true;
+    }
+    return st;
+  }
+
+  void rebuild(int task, TaskTables& tb) {
+    const Partition& part = partition();
+    tb.mi = part.cluster_size(task);
+    assert(tb.mi >= 1);
+    tb.shares_processor = part.task_shares_processor(task);
+    tb.contention = build_processor_contention(ts_, part, task);
+
+    tb.cluster_globals.clear();
+    for (ResourceId q : part.resources_on_cluster(task))
+      if (ts_.is_global(q)) tb.cluster_globals.push_back(q);
+    tb.agent_demand.clear();
+    for (int j = 0; j < ts_.size(); ++j) {
+      if (j == task) continue;
+      Time demand = 0;
+      for (ResourceId q : tb.cluster_globals)
+        demand += ts_.task(j).usage(q).demand();
+      if (demand > 0) tb.agent_demand.emplace_back(j, demand);
+    }
+
+    tb.preempt_demand = preemption_demand(ts_, part, task);
+    tb.dirty = false;
+  }
+
+  std::optional<Time> compute(int task, const TaskTables& tb,
+                              const std::vector<Time>& hint) {
+    const DagTask& ti = ts_.task(task);
+    const TaskStatics& st = statics(task);
+    QueryContext ctx(ts_, task, tb, st.my_locals, st.used, hint);
+    const std::vector<int> no_requests;  // envelope ignores nlam
+
+    if (tb.shares_processor) {
+      // Partitioned light task (Sec. VI): executed sequentially, so the
+      // whole job is one "path" of length C_i carrying all N_{i,q}
+      // requests.  Intra-task blocking and interference vanish; inter-task
+      // blocking and agent interference are analysed by the same
+      // machinery, and P-FP preemption by co-located tasks enters the
+      // outer recurrence.
+      std::vector<int> all_requests(
+          static_cast<std::size_t>(ti.num_resources()), 0);
+      for (ResourceId q : st.used)
+        all_requests[static_cast<std::size_t>(q)] = ti.usage(q).max_requests;
+      return ctx.path_bound(ti.wcet(), all_requests, /*envelope=*/false);
+    }
+
+    if (mode_ == DpcpPAnalysis::PathMode::kEnvelope) {
+      return ctx.path_bound(ti.longest_path_length(), no_requests,
+                            /*envelope=*/true);
+    }
+
+    const PathEnumResult& paths = session_.paths(task, options_.max_paths);
+    if (paths.truncated ||
+        static_cast<std::int64_t>(paths.signatures.size()) >
+            options_.max_signatures) {
+      // Path space too large: fall back to the envelope, which dominates
+      // every per-path bound (sound, possibly pessimistic).
+      return ctx.path_bound(ti.longest_path_length(), no_requests,
+                            /*envelope=*/true);
+    }
+
+    Time worst = 0;
+    std::vector<int> nlam(static_cast<std::size_t>(ti.num_resources()), 0);
+    for (const PathSignature& sig : paths.signatures) {
+      std::fill(nlam.begin(), nlam.end(), 0);
+      for (std::size_t k = 0; k < paths.resource_index.size(); ++k)
+        nlam[static_cast<std::size_t>(paths.resource_index[k])] =
+            sig.requests[k];
+      const auto r = ctx.path_bound(sig.length, nlam, /*envelope=*/false);
+      if (!r) return std::nullopt;
+      worst = std::max(worst, *r);
+    }
+    return worst;
+  }
+
+  const DpcpPAnalysis::PathMode mode_;
+  const DpcpPOptions options_;
+  std::vector<TaskTables> tables_;
+  std::vector<TaskStatics> statics_;
 };
 
 }  // namespace
 
-std::optional<Time> DpcpPAnalysis::wcrt(const TaskSet& ts,
-                                        const Partition& part, int task,
-                                        const std::vector<Time>& hint) const {
-  TaskAnalysis ta(ts, part, task, hint);
-  const DagTask& ti = ts.task(task);
-  const std::vector<int> no_requests;  // envelope ignores nlam
-
-  if (part.task_shares_processor(task)) {
-    // Partitioned light task (Sec. VI): executed sequentially, so the
-    // whole job is one "path" of length C_i carrying all N_{i,q} requests.
-    // Intra-task blocking and interference vanish; inter-task blocking and
-    // agent interference are analysed by the same machinery, and P-FP
-    // preemption by co-located tasks enters the outer recurrence.
-    std::vector<int> all_requests(
-        static_cast<std::size_t>(ti.num_resources()), 0);
-    for (ResourceId q : ti.used_resources())
-      all_requests[static_cast<std::size_t>(q)] = ti.usage(q).max_requests;
-    return ta.path_bound(ti.wcet(), all_requests, /*envelope=*/false);
-  }
-
-  if (mode_ == PathMode::kEnvelope) {
-    return ta.path_bound(ti.longest_path_length(), no_requests,
-                         /*envelope=*/true);
-  }
-
-  const PathEnumResult paths =
-      enumerate_path_signatures(ti, options_.max_paths);
-  if (paths.truncated ||
-      static_cast<std::int64_t>(paths.signatures.size()) >
-          options_.max_signatures) {
-    // Path space too large: fall back to the envelope, which dominates
-    // every per-path bound (sound, possibly pessimistic).
-    return ta.path_bound(ti.longest_path_length(), no_requests,
-                         /*envelope=*/true);
-  }
-
-  Time worst = 0;
-  std::vector<int> nlam(static_cast<std::size_t>(ti.num_resources()), 0);
-  for (const PathSignature& sig : paths.signatures) {
-    std::fill(nlam.begin(), nlam.end(), 0);
-    for (std::size_t k = 0; k < paths.resource_index.size(); ++k)
-      nlam[static_cast<std::size_t>(paths.resource_index[k])] =
-          sig.requests[k];
-    const auto r = ta.path_bound(sig.length, nlam, /*envelope=*/false);
-    if (!r) return std::nullopt;
-    worst = std::max(worst, *r);
-  }
-  return worst;
+std::unique_ptr<PreparedAnalysis> DpcpPAnalysis::prepare(
+    AnalysisSession& session) const {
+  return std::make_unique<DpcpPPrepared>(session, mode_, options_);
 }
 
 }  // namespace dpcp

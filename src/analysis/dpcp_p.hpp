@@ -18,6 +18,15 @@
 //    N^lambda_{i,q} in [0, N_{i,q}] is known; each term is maximised
 //    independently over N^lambda, which upper-bounds the joint enumeration
 //    and is therefore sound -- and by construction never beats EP.
+//
+// Two-phase split (see analysis/session.hpp):
+//  * per session  — path signatures (via AnalysisSession) and the
+//    local-resource list, both partition-independent;
+//  * per partition — contention/agent/preemption tables (Lemmas 2-6
+//    inputs), cached per task and rebuilt only when bind() reports that a
+//    processor grant or resource re-placement changed the task's inputs;
+//    the per-(resource, intra-ahead) request-response memo of Lemma 2 is
+//    per query, as it depends on the hint vector.
 #pragma once
 
 #include <cstdint>
@@ -50,8 +59,8 @@ class DpcpPAnalysis final : public SchedAnalysis {
     return ResourcePlacement::kWfd;
   }
 
-  std::optional<Time> wcrt(const TaskSet& ts, const Partition& part, int task,
-                           const std::vector<Time>& hint) const override;
+  std::unique_ptr<PreparedAnalysis> prepare(
+      AnalysisSession& session) const override;
 
  private:
   PathMode mode_;

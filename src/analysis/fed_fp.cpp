@@ -5,18 +5,58 @@
 #include "util/fixed_point.hpp"
 
 namespace dpcp {
+namespace {
 
-std::optional<Time> FedFpAnalysis::wcrt(const TaskSet& ts,
-                                        const Partition& part, int task,
-                                        const std::vector<Time>& hint) const {
-  const DagTask& ti = ts.task(task);
-  const Time base = federated_wcrt_bound(ti, part.cluster_size(task));
-  // Heavy tasks own their cluster: the preemption demand is empty and the
-  // recurrence collapses to the plain federated bound.  Light tasks on
-  // shared processors additionally suffer P-FP preemption (Sec. VI).
-  const auto demand = preemption_demand(ts, part, task);
-  auto f = [&](Time r) { return base + preemption(demand, ts, hint, r); };
-  return solve_fixed_point(f, base, ti.deadline()).value;
+class FedFpPrepared final : public PreparedAnalysis {
+ public:
+  explicit FedFpPrepared(AnalysisSession& session)
+      : PreparedAnalysis(session),
+        state_(static_cast<std::size_t>(ts_.size())) {}
+
+  std::optional<Time> wcrt(int task,
+                           const std::vector<Time>& hint) override {
+    State& st = state_[static_cast<std::size_t>(task)];
+    const DagTask& ti = ts_.task(task);
+    if (st.dirty) {
+      st.base = federated_wcrt_bound(ti, partition().cluster_size(task));
+      st.preempt_demand = preemption_demand(ts_, partition(), task);
+      st.dirty = false;
+    }
+    // Heavy tasks own their cluster: the preemption demand is empty and the
+    // recurrence collapses to the plain federated bound.  Light tasks on
+    // shared processors additionally suffer P-FP preemption (Sec. VI).
+    auto f = [&](Time r) {
+      return st.base + preemption(st.preempt_demand, ts_, hint, r);
+    };
+    return solve_fixed_point(f, st.base, ti.deadline()).value;
+  }
+
+ protected:
+  void partition_inputs(const Partition& part, int task,
+                        std::vector<Time>* out) const override {
+    // Only m_i and the co-hosted (preempting) tasks are read.
+    append_cluster(part, task, out);
+    append_cohosted(part, task, out);
+  }
+
+  void invalidate(int task) override {
+    state_[static_cast<std::size_t>(task)].dirty = true;
+  }
+
+ private:
+  struct State {
+    bool dirty = true;
+    Time base = 0;
+    std::vector<std::pair<int, Time>> preempt_demand;
+  };
+  std::vector<State> state_;
+};
+
+}  // namespace
+
+std::unique_ptr<PreparedAnalysis> FedFpAnalysis::prepare(
+    AnalysisSession& session) const {
+  return std::make_unique<FedFpPrepared>(session);
 }
 
 }  // namespace dpcp

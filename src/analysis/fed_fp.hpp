@@ -14,8 +14,8 @@ class FedFpAnalysis final : public SchedAnalysis {
     return ResourcePlacement::kNone;
   }
 
-  std::optional<Time> wcrt(const TaskSet& ts, const Partition& part, int task,
-                           const std::vector<Time>& hint) const override;
+  std::unique_ptr<PreparedAnalysis> prepare(
+      AnalysisSession& session) const override;
 };
 
 }  // namespace dpcp

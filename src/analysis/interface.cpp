@@ -7,22 +7,41 @@
 
 namespace dpcp {
 
-PartitionOutcome SchedAnalysis::test(const TaskSet& ts, int m) const {
-  PartitionOptions options;
-  options.placement = placement();
-  WcrtOracle oracle = [this](const TaskSet& t, const Partition& p, int i,
-                             const std::vector<Time>& hint) {
-    return wcrt(t, p, i, hint);
-  };
-  return partition_and_analyze(ts, m, oracle, options);
+std::optional<Time> SchedAnalysis::wcrt(const TaskSet& ts,
+                                        const Partition& part, int task,
+                                        const std::vector<Time>& hint) const {
+  AnalysisSession session(ts);
+  auto prepared = prepare(session);
+  prepared->bind(part);
+  return prepared->wcrt(task, hint);
 }
 
-std::unique_ptr<SchedAnalysis> make_analysis(AnalysisKind kind) {
+PartitionOutcome SchedAnalysis::test(AnalysisSession& session, int m) const {
+  PartitionOptions options;
+  options.placement = placement();
+  options.priority_order = &session.priority_order();
+  options.wfd_cache = &session.wfd_cache();
+  auto prepared = prepare(session);
+  return partition_and_analyze(session.taskset(), m, *prepared, options);
+}
+
+PartitionOutcome SchedAnalysis::test(const TaskSet& ts, int m) const {
+  AnalysisSession session(ts);
+  return test(session, m);
+}
+
+std::unique_ptr<SchedAnalysis> make_analysis(AnalysisKind kind,
+                                             const AnalysisOptions& options) {
+  DpcpPOptions dpcp_options;
+  dpcp_options.max_paths = options.max_paths;
+  dpcp_options.max_signatures = options.max_signatures;
   switch (kind) {
     case AnalysisKind::kDpcpPEp:
-      return std::make_unique<DpcpPAnalysis>(DpcpPAnalysis::PathMode::kEnumerate);
+      return std::make_unique<DpcpPAnalysis>(DpcpPAnalysis::PathMode::kEnumerate,
+                                             dpcp_options);
     case AnalysisKind::kDpcpPEn:
-      return std::make_unique<DpcpPAnalysis>(DpcpPAnalysis::PathMode::kEnvelope);
+      return std::make_unique<DpcpPAnalysis>(DpcpPAnalysis::PathMode::kEnvelope,
+                                             dpcp_options);
     case AnalysisKind::kSpinSon:
       return std::make_unique<SpinSonAnalysis>();
     case AnalysisKind::kLpp:

@@ -4,13 +4,30 @@
 // partitioning loop (Algorithm 1) and (ii) which resource-placement policy
 // its protocol requires (remote-execution protocols pin global resources to
 // processors; local-execution protocols do not).
+//
+// The oracle is two-phase: prepare() builds a PreparedAnalysis against a
+// per-task-set AnalysisSession, splitting the work into
+//
+//   partition-independent  — computed once per session (path signatures,
+//                            usage/priority tables), shared across rounds
+//                            and across analyses on the same task set;
+//   partition-dependent    — cached per task inside the prepared object
+//                            and invalidated only when a processor grant
+//                            or resource re-placement actually changed
+//                            that task's inputs (see analysis/prepared.hpp).
+//
+// The one-shot wcrt() and test() entry points below are conveniences that
+// run prepare() behind the scenes.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "analysis/prepared.hpp"
+#include "analysis/session.hpp"
 #include "model/taskset.hpp"
 #include "partition/partitioner.hpp"
 
@@ -26,14 +43,25 @@ class SchedAnalysis {
   /// Placement policy Algorithm 1 must run for this protocol.
   virtual ResourcePlacement placement() const = 0;
 
-  /// WCRT bound of `task` under `part`; `hint[j]` is the response time to
-  /// assume for every other task (computed value or D_j).  nullopt when the
-  /// bound exceeds the deadline or the recurrence diverges.
-  virtual std::optional<Time> wcrt(const TaskSet& ts, const Partition& part,
-                                   int task,
-                                   const std::vector<Time>& hint) const = 0;
+  /// Two-phase entry point: binds this analysis to `session`'s task set
+  /// and returns the per-partition query object Algorithm 1 iterates.
+  /// The session must outlive the returned oracle.
+  virtual std::unique_ptr<PreparedAnalysis> prepare(
+      AnalysisSession& session) const = 0;
 
-  /// End-to-end schedulability test: Algorithm 1 with this analysis.
+  /// One-shot WCRT bound of `task` under `part`; `hint[j]` is the response
+  /// time to assume for every other task (computed value or D_j).  nullopt
+  /// when the bound exceeds the deadline or the recurrence diverges.
+  /// Prepares a throwaway session per call — callers issuing many queries
+  /// against one task set should prepare() once instead.
+  std::optional<Time> wcrt(const TaskSet& ts, const Partition& part, int task,
+                           const std::vector<Time>& hint) const;
+
+  /// End-to-end schedulability test: Algorithm 1 with this analysis,
+  /// reusing `session`'s partition-independent caches.
+  PartitionOutcome test(AnalysisSession& session, int m) const;
+
+  /// End-to-end schedulability test with a private one-shot session.
   PartitionOutcome test(const TaskSet& ts, int m) const;
 };
 
@@ -45,7 +73,18 @@ enum class AnalysisKind {
   kFedFp,     // federated scheduling ignoring shared resources [13]
 };
 
-std::unique_ptr<SchedAnalysis> make_analysis(AnalysisKind kind);
+/// Cross-analysis tuning knobs forwarded by make_analysis(); today these
+/// reach only the DPCP-p-EP path enumeration (defaults == DpcpPOptions).
+struct AnalysisOptions {
+  /// DFS budget for EP path enumeration.
+  std::int64_t max_paths = 100'000;
+  /// Signature budget above which EP falls back to the EN envelope.
+  std::int64_t max_signatures = 20'000;
+};
+
+std::unique_ptr<SchedAnalysis> make_analysis(AnalysisKind kind,
+                                             const AnalysisOptions& options =
+                                                 AnalysisOptions());
 
 /// The five approaches in the paper's comparison, in display order.
 std::vector<AnalysisKind> all_analysis_kinds();

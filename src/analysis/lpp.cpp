@@ -36,60 +36,159 @@ std::optional<Time> LppAnalysis::request_response(
   return solve_fixed_point(f, f(0), ti.deadline()).value;
 }
 
-std::optional<Time> LppAnalysis::wcrt(const TaskSet& ts, const Partition& part,
-                                      int task,
-                                      const std::vector<Time>& hint) const {
-  const DagTask& ti = ts.task(task);
-  const int mi = part.cluster_size(task);
-  const Time lstar = ti.longest_path_length();
+namespace {
 
-  // Per-request lock waits delay the path; with the envelope model every
-  // request may be on it.  The critical section itself is already inside
-  // C_i / L*_i, so only the wait (X - L_{i,q}) is added.  As in Lemma 3's
-  // min(eps, zeta), the per-request accounting is capped by the critical-
-  // section work other tasks can actually release within the response
-  // window.  Intra-task queueing (the task's own off-path requests
-  // serialising on l_q) is charged once per resource, mirroring Lemma 4
-  // rather than per request (which would be quadratically pessimistic).
-  std::vector<std::pair<ResourceId, Time>> per_request;  // (q, N*(X-L))
-  Time intra = 0;
-  for (ResourceId q : ti.used_resources()) {
-    const auto x = request_response(ts, task, q, hint);
-    if (!x) return std::nullopt;
-    const auto& use = ti.usage(q);
-    per_request.emplace_back(
-        q, static_cast<Time>(use.max_requests) * (*x - use.cs_length));
-    intra += static_cast<Time>(use.max_requests - 1) * use.cs_length;
+class LppPrepared final : public PreparedAnalysis {
+ public:
+  explicit LppPrepared(AnalysisSession& session)
+      : PreparedAnalysis(session),
+        statics_(static_cast<std::size_t>(ts_.size())),
+        state_(static_cast<std::size_t>(ts_.size())) {}
+
+  std::optional<Time> wcrt(int task,
+                           const std::vector<Time>& hint) override {
+    const DagTask& ti = ts_.task(task);
+    const TaskStatics& ps = prepared_statics(task);
+    State& st = state_[static_cast<std::size_t>(task)];
+    if (st.dirty) {
+      st.mi = partition().cluster_size(task);
+      st.preempt_demand = preemption_demand(ts_, partition(), task);
+      st.dirty = false;
+    }
+
+    // Per-request lock waits delay the path; with the envelope model every
+    // request may be on it.  The critical section itself is already inside
+    // C_i / L*_i, so only the wait (X - L_{i,q}) is added.  As in Lemma 3's
+    // min(eps, zeta), the per-request accounting is capped by the critical-
+    // section work other tasks can actually release within the response
+    // window.  Intra-task queueing (the task's own off-path requests
+    // serialising on l_q) is charged once per resource, mirroring Lemma 4
+    // rather than per request (which would be quadratically pessimistic).
+    std::vector<std::pair<std::size_t, Time>> per_request;  // (idx, N*(X-L))
+    for (std::size_t k = 0; k < ps.resources.size(); ++k) {
+      const ResourceStatic& rs = ps.resources[k];
+      const auto x = inner_response(rs, ti.deadline(), hint);
+      if (!x) return std::nullopt;
+      per_request.emplace_back(
+          k, static_cast<Time>(rs.max_requests) * (*x - rs.cs_length));
+    }
+
+    const Time lstar = ti.longest_path_length();
+    const Time base =
+        lstar + ps.intra + div_ceil(ti.wcet() - lstar, st.mi);
+    // Light tasks on shared processors additionally suffer P-FP preemption
+    // (Sec. VI extension).
+    auto f = [&](Time r) {
+      Time wait = 0;
+      for (const auto& [k, request_bound] : per_request) {
+        Time window_demand = 0;
+        for (const auto& [j, demand] : ps.resources[k].contenders)
+          window_demand += eta(r, hint[static_cast<std::size_t>(j)],
+                               ts_.task(j).period()) *
+                           demand;
+        wait += std::min(request_bound, window_demand);
+      }
+      // Partially suspension-oblivious accounting: the time vertices spend
+      // suspended on locks is additionally charged as interfering demand at
+      // half weight -- between fully suspension-aware (+0) and fully
+      // suspension-oblivious (+wait) treatments.  The half weight is the
+      // calibration that reproduces the SPIN/LPP schedulability balance the
+      // paper reports for the original analyses of [6]/[11], whose exact
+      // formulas are not available here (see DESIGN.md section 3).
+      return base + wait + div_ceil(wait, 2) +
+             preemption(st.preempt_demand, ts_, hint, r);
+    };
+    return solve_fixed_point(f, base, ti.deadline()).value;
   }
 
-  const Time base = lstar + intra + div_ceil(ti.wcet() - lstar, mi);
-  // Light tasks on shared processors additionally suffer P-FP preemption
-  // (Sec. VI extension).
-  const auto demand = preemption_demand(ts, part, task);
-  auto f = [&](Time r) {
-    Time wait = 0;
-    for (const auto& [q, request_bound] : per_request) {
-      Time window_demand = 0;
-      for (int j = 0; j < ts.size(); ++j) {
-        if (j == task) continue;
-        const auto& use = ts.task(j).usage(q);
-        if (!use.used()) continue;
-        window_demand += eta(r, hint[static_cast<std::size_t>(j)],
-                             ts.task(j).period()) *
-                         use.demand();
-      }
-      wait += std::min(request_bound, window_demand);
-    }
-    // Partially suspension-oblivious accounting: the time vertices spend
-    // suspended on locks is additionally charged as interfering demand at
-    // half weight -- between fully suspension-aware (+0) and fully
-    // suspension-oblivious (+wait) treatments.  The half weight is the
-    // calibration that reproduces the SPIN/LPP schedulability balance the
-    // paper reports for the original analyses of [6]/[11], whose exact
-    // formulas are not available here (see DESIGN.md section 3).
-    return base + wait + div_ceil(wait, 2) + preemption(demand, ts, hint, r);
+ protected:
+  void partition_inputs(const Partition& part, int task,
+                        std::vector<Time>* out) const override {
+    // Lock waits are partition-independent under local execution; only
+    // m_i and the co-hosted (preempting) tasks are read.
+    append_cluster(part, task, out);
+    append_cohosted(part, task, out);
+  }
+
+  void invalidate(int task) override {
+    state_[static_cast<std::size_t>(task)].dirty = true;
+  }
+
+ private:
+  /// Partition-independent per-resource data of one task's analysis.
+  struct ResourceStatic {
+    ResourceId q = 0;
+    int max_requests = 0;
+    Time cs_length = 0;
+    /// Lower-priority blocking bound beta (progress mechanism).
+    Time beta = 0;
+    /// Higher-priority requests served ahead in the queue: (j, N*L).
+    std::vector<std::pair<int, Time>> higher;
+    /// Every other user of l_q: (j, N*L), for the window-demand cap.
+    std::vector<std::pair<int, Time>> contenders;
   };
-  return solve_fixed_point(f, base, ti.deadline()).value;
+  struct TaskStatics {
+    bool ready = false;
+    std::vector<ResourceStatic> resources;  // in used_resources() order
+    /// Own off-path queueing charged once per resource (Lemma-4 mirror).
+    Time intra = 0;
+  };
+  struct State {
+    bool dirty = true;
+    int mi = 1;
+    std::vector<std::pair<int, Time>> preempt_demand;
+  };
+
+  const TaskStatics& prepared_statics(int task) {
+    TaskStatics& ps = statics_[static_cast<std::size_t>(task)];
+    if (ps.ready) return ps;
+    const DagTask& ti = ts_.task(task);
+    for (ResourceId q : ti.used_resources()) {
+      ResourceStatic rs;
+      rs.q = q;
+      rs.max_requests = ti.usage(q).max_requests;
+      rs.cs_length = ti.usage(q).cs_length;
+      for (int j = 0; j < ts_.size(); ++j) {
+        if (j == task) continue;
+        const auto& use = ts_.task(j).usage(q);
+        if (!use.used()) continue;
+        if (ts_.task(j).priority() < ti.priority())
+          rs.beta = std::max(rs.beta, use.cs_length);
+        else if (ts_.task(j).priority() > ti.priority())
+          rs.higher.emplace_back(j, use.demand());
+        rs.contenders.emplace_back(j, use.demand());
+      }
+      ps.intra += static_cast<Time>(rs.max_requests - 1) * rs.cs_length;
+      ps.resources.push_back(std::move(rs));
+    }
+    ps.ready = true;
+    return ps;
+  }
+
+  /// The inner Lemma-2-style recurrence over precomputed contender lists;
+  /// identical to the static request_response().
+  std::optional<Time> inner_response(const ResourceStatic& rs, Time deadline,
+                                     const std::vector<Time>& hint) const {
+    auto f = [&](Time x) {
+      Time higher = 0;
+      for (const auto& [j, demand] : rs.higher)
+        higher += eta(x, hint[static_cast<std::size_t>(j)],
+                      ts_.task(j).period()) *
+                  demand;
+      return rs.cs_length + rs.beta + higher;
+    };
+    return solve_fixed_point(f, f(0), deadline).value;
+  }
+
+  std::vector<TaskStatics> statics_;
+  std::vector<State> state_;
+};
+
+}  // namespace
+
+std::unique_ptr<PreparedAnalysis> LppAnalysis::prepare(
+    AnalysisSession& session) const {
+  return std::make_unique<LppPrepared>(session);
 }
 
 }  // namespace dpcp

@@ -30,8 +30,8 @@ class LppAnalysis final : public SchedAnalysis {
     return ResourcePlacement::kNone;  // local execution: no resource pinning
   }
 
-  std::optional<Time> wcrt(const TaskSet& ts, const Partition& part, int task,
-                           const std::vector<Time>& hint) const override;
+  std::unique_ptr<PreparedAnalysis> prepare(
+      AnalysisSession& session) const override;
 
   /// Response time of one request of tau_i to l_q (lock wait + own critical
   /// section); nullopt if the inner recurrence exceeds the deadline.

@@ -1,0 +1,55 @@
+#include "analysis/prepared.hpp"
+
+namespace dpcp {
+
+PreparedAnalysis::PreparedAnalysis(AnalysisSession& session)
+    : session_(session),
+      ts_(session.taskset()),
+      inputs_(static_cast<std::size_t>(session.taskset().size())),
+      unchanged_(static_cast<std::size_t>(session.taskset().size()), 0) {}
+
+void PreparedAnalysis::bind(const Partition& part) {
+  WcrtOracle::bind(part);
+  for (int i = 0; i < ts_.size(); ++i) {
+    const std::size_t ui = static_cast<std::size_t>(i);
+    scratch_.clear();
+    partition_inputs(part, i, &scratch_);
+    if (bound_once_ && scratch_ == inputs_[ui]) {
+      unchanged_[ui] = 1;
+    } else {
+      unchanged_[ui] = 0;
+      inputs_[ui] = scratch_;
+      invalidate(i);
+    }
+  }
+  bound_once_ = true;
+}
+
+bool PreparedAnalysis::task_unchanged(int task) const {
+  return unchanged_[static_cast<std::size_t>(task)] != 0;
+}
+
+void PreparedAnalysis::append_cluster(const Partition& part, int i,
+                                      std::vector<Time>* out) {
+  const auto& cluster = part.cluster(i);
+  out->push_back(static_cast<Time>(cluster.size()));
+  for (ProcessorId p : cluster) out->push_back(p);
+}
+
+void PreparedAnalysis::append_cohosted(const Partition& part, int i,
+                                       std::vector<Time>* out) {
+  for (ProcessorId p : part.cluster(i)) {
+    const auto tasks = part.tasks_on_processor(p);
+    out->push_back(static_cast<Time>(tasks.size()));
+    for (int j : tasks) out->push_back(j);
+  }
+}
+
+void PreparedAnalysis::append_placement(const Partition& part,
+                                        std::vector<Time>* out) {
+  out->push_back(part.num_resources());
+  for (ResourceId q = 0; q < part.num_resources(); ++q)
+    out->push_back(part.processor_of_resource(q));
+}
+
+}  // namespace dpcp

@@ -1,0 +1,67 @@
+// Base class of the per-partition query objects the analyses hand to
+// Algorithm 1 (the partition-dependent half of the two-phase pipeline).
+//
+// A PreparedAnalysis is created once per (analysis, task set) from
+// SchedAnalysis::prepare() and then queried across every round of
+// partition_and_analyze().  It implements the cross-round invalidation
+// protocol of WcrtOracle generically: each bind() serializes, per task,
+// everything the concrete analysis reads from the partition (the
+// "partition inputs" — cluster membership, co-hosted tasks, resource
+// placement, contending cluster sizes, ... as declared by the subclass)
+// and diffs it against the previous round.  Tasks whose inputs are
+// unchanged report task_unchanged() — letting the partitioning loop skip
+// them outright — while changed tasks get their cached contention
+// structures dropped through the invalidate() hook.
+#pragma once
+
+#include <vector>
+
+#include "analysis/session.hpp"
+#include "partition/partitioner.hpp"
+
+namespace dpcp {
+
+class PreparedAnalysis : public WcrtOracle {
+ public:
+  explicit PreparedAnalysis(AnalysisSession& session);
+
+  void bind(const Partition& part) override;
+  bool task_unchanged(int task) const override;
+
+ protected:
+  /// Serializes everything wcrt(task, ·) reads from `part` into `out`
+  /// (cleared by the caller).  Two equal token streams MUST imply equal
+  /// wcrt() results for equal hints; missing a dependency makes the
+  /// cross-round skip unsound.  Section lengths are encoded alongside
+  /// values so adjacent variable-length sections cannot alias.
+  virtual void partition_inputs(const Partition& part, int task,
+                                std::vector<Time>* out) const = 0;
+
+  /// Invoked from bind() for every task whose partition inputs changed
+  /// (and for every task on the first bind); subclasses drop the task's
+  /// cached partition-dependent state here.
+  virtual void invalidate(int /*task*/) {}
+
+  // --- token helpers for partition_inputs() ------------------------------
+  /// Task `i`'s cluster: size then processor ids.
+  static void append_cluster(const Partition& part, int i,
+                             std::vector<Time>* out);
+  /// Tasks co-hosted with `i` (sharing any of its processors): per cluster
+  /// processor, count then task indices.  Captures the inputs of
+  /// preemption_demand() and task_shares_processor().
+  static void append_cohosted(const Partition& part, int i,
+                              std::vector<Time>* out);
+  /// The full resource-to-processor map.
+  static void append_placement(const Partition& part, std::vector<Time>* out);
+
+  AnalysisSession& session_;
+  const TaskSet& ts_;
+
+ private:
+  std::vector<std::vector<Time>> inputs_;
+  std::vector<char> unchanged_;
+  std::vector<Time> scratch_;
+  bool bound_once_ = false;
+};
+
+}  // namespace dpcp

@@ -1,0 +1,31 @@
+#include "analysis/session.hpp"
+
+#include "partition/partitioner.hpp"
+
+namespace dpcp {
+
+const PathEnumResult& AnalysisSession::paths(int task,
+                                             std::int64_t max_paths) {
+  const std::size_t ut = static_cast<std::size_t>(task);
+  if (paths_.size() < ts_.tasks().size()) {
+    paths_.resize(ts_.tasks().size());
+    paths_budget_.resize(ts_.tasks().size(), 0);
+  }
+  if (!paths_[ut] || paths_budget_[ut] != max_paths) {
+    paths_[ut] = std::make_unique<PathEnumResult>(
+        enumerate_path_signatures(ts_.task(task), max_paths));
+    paths_budget_[ut] = max_paths;
+    ++path_enumerations_;
+  }
+  return *paths_[ut];
+}
+
+const std::vector<int>& AnalysisSession::priority_order() {
+  if (!order_ready_) {
+    order_ = analysis_priority_order(ts_);
+    order_ready_ = true;
+  }
+  return order_;
+}
+
+}  // namespace dpcp

@@ -1,0 +1,65 @@
+// Per-task-set analysis session: the shared, partition-independent half of
+// the two-phase analysis pipeline.
+//
+// Everything here depends only on the task set — never on a partition — so
+// it is computed once per session and reused across every Algorithm-1
+// round, every hint iteration, and every analysis kind run on the same
+// (paired) task set:
+//
+//   * complete-path signatures per task (the exponential DAG enumeration
+//     that dominated DPCP-p-EP's cost when recomputed per wcrt() call);
+//   * the decreasing-priority analysis order of Algorithm 1.
+//
+// The experiment engine constructs one session per generated task set and
+// hands it to all five analyses; see SchedAnalysis::prepare().
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "model/paths.hpp"
+#include "model/taskset.hpp"
+#include "partition/partitioner.hpp"
+
+namespace dpcp {
+
+class AnalysisSession {
+ public:
+  /// `ts` must outlive the session and stay structurally unmodified.
+  explicit AnalysisSession(const TaskSet& ts) : ts_(ts) {}
+
+  AnalysisSession(const AnalysisSession&) = delete;
+  AnalysisSession& operator=(const AnalysisSession&) = delete;
+
+  const TaskSet& taskset() const { return ts_; }
+
+  /// Complete-path signatures of `task`, enumerated with DFS budget
+  /// `max_paths` on first use and cached for the session's lifetime.
+  /// A query with a different budget re-enumerates (and re-caches), so
+  /// results are bit-identical to calling enumerate_path_signatures()
+  /// directly; in practice every caller in one session uses one budget.
+  const PathEnumResult& paths(int task, std::int64_t max_paths);
+
+  /// Task indices in decreasing base-priority order (Algorithm 1's
+  /// analysis order), computed once.
+  const std::vector<int>& priority_order();
+
+  /// Path enumerations performed so far (telemetry: sessions exist to keep
+  /// this at <= one per task).
+  std::int64_t path_enumerations() const { return path_enumerations_; }
+
+  /// WFD placement memo shared by every analysis run on this task set.
+  WfdPlacementCache& wfd_cache() { return wfd_cache_; }
+
+ private:
+  const TaskSet& ts_;
+  WfdPlacementCache wfd_cache_;
+  std::vector<std::unique_ptr<PathEnumResult>> paths_;
+  std::vector<std::int64_t> paths_budget_;
+  std::vector<int> order_;
+  bool order_ready_ = false;
+  std::int64_t path_enumerations_ = 0;
+};
+
+}  // namespace dpcp

@@ -29,49 +29,140 @@ Time SpinSonAnalysis::spin_delay(const TaskSet& ts, const Partition& part,
   return delay;
 }
 
-std::optional<Time> SpinSonAnalysis::wcrt(const TaskSet& ts,
-                                          const Partition& part, int task,
-                                          const std::vector<Time>& hint) const {
-  const DagTask& ti = ts.task(task);
-  const int mi = part.cluster_size(task);
-  const Time lstar = ti.longest_path_length();
+namespace {
 
-  // Per-job spin on l_q is bounded by BOTH (i) the per-request FIFO bound
-  // N_{i,q} * spin_delay (each request waits for at most one in-flight
-  // request per contending processor) and (ii) the remote critical-section
-  // work actually released within the response window (a job cannot
-  // busy-wait on work that does not exist) -- the same min() structure as
-  // Lemma 3's eps/zeta.  The joint N^lambda maximum puts all spin on the
-  // analysed path (coefficient 1 > 1/m), so spin inflates the path only.
-  std::vector<std::pair<ResourceId, Time>> per_request;  // (q, N*S)
-  for (ResourceId q : ti.used_resources())
-    per_request.emplace_back(
-        q, static_cast<Time>(ti.usage(q).max_requests) *
-               spin_delay(ts, part, task, q));
+class SpinSonPrepared final : public PreparedAnalysis {
+ public:
+  explicit SpinSonPrepared(AnalysisSession& session)
+      : PreparedAnalysis(session),
+        statics_(static_cast<std::size_t>(ts_.size())),
+        state_(static_cast<std::size_t>(ts_.size())) {
+    // Contender sets feed partition_inputs() from the first bind() on, so
+    // they are built eagerly (cheap: usage-table scans only).
+    for (int i = 0; i < ts_.size(); ++i) build_statics(i);
+  }
 
-  const Time base = lstar + div_ceil(ti.wcet() - lstar, mi);
-  const auto demand = preemption_demand(ts, part, task);
-  auto f = [&](Time r) {
-    Time spin = 0;
-    for (const auto& [q, fifo_bound] : per_request) {
-      Time window_demand = 0;
-      for (int j = 0; j < ts.size(); ++j) {
-        if (j == task) continue;
-        const auto& use = ts.task(j).usage(q);
-        if (!use.used()) continue;
-        window_demand += eta(r, hint[static_cast<std::size_t>(j)],
-                             ts.task(j).period()) *
-                         use.demand();
+  std::optional<Time> wcrt(int task,
+                           const std::vector<Time>& hint) override {
+    const DagTask& ti = ts_.task(task);
+    const TaskStatics& ps = prepared_statics(task);
+    State& st = state_[static_cast<std::size_t>(task)];
+    if (st.dirty) {
+      st.mi = partition().cluster_size(task);
+      // Per-job spin on l_q is bounded by BOTH (i) the per-request FIFO
+      // bound N_{i,q} * spin_delay (each request waits for at most one
+      // in-flight request per contending processor) and (ii) the remote
+      // critical-section work actually released within the response window
+      // (a job cannot busy-wait on work that does not exist) -- the same
+      // min() structure as Lemma 3's eps/zeta.  The joint N^lambda maximum
+      // puts all spin on the analysed path (coefficient 1 > 1/m), so spin
+      // inflates the path only.
+      st.fifo_bound.clear();
+      for (const ResourceStatic& rs : ps.resources)
+        st.fifo_bound.push_back(
+            static_cast<Time>(rs.max_requests) *
+            SpinSonAnalysis::spin_delay(ts_, partition(), task, rs.q));
+      st.preempt_demand = preemption_demand(ts_, partition(), task);
+      st.dirty = false;
+    }
+
+    const Time lstar = ti.longest_path_length();
+    const Time base = lstar + div_ceil(ti.wcet() - lstar, st.mi);
+    auto f = [&](Time r) {
+      Time spin = 0;
+      for (std::size_t k = 0; k < ps.resources.size(); ++k) {
+        const ResourceStatic& rs = ps.resources[k];
+        Time window_demand = rs.own_window;
+        for (const auto& [j, demand] : rs.contenders)
+          window_demand += eta(r, hint[static_cast<std::size_t>(j)],
+                               ts_.task(j).period()) *
+                           demand;
+        spin += std::min(st.fifo_bound[k], window_demand);
       }
-      // Own concurrent requests can also be spun on, once each.
-      window_demand +=
+      return base + spin + preemption(st.preempt_demand, ts_, hint, r);
+    };
+    return solve_fixed_point(f, base, ti.deadline()).value;
+  }
+
+ protected:
+  void partition_inputs(const Partition& part, int task,
+                        std::vector<Time>* out) const override {
+    // The FIFO slot counts read the cluster sizes of every task contending
+    // for a resource tau_i uses; preemption reads the co-hosted tasks.
+    append_cluster(part, task, out);
+    append_cohosted(part, task, out);
+    const TaskStatics& ps = statics_[static_cast<std::size_t>(task)];
+    out->push_back(static_cast<Time>(ps.contender_tasks.size()));
+    for (int j : ps.contender_tasks) out->push_back(part.cluster_size(j));
+  }
+
+  void invalidate(int task) override {
+    state_[static_cast<std::size_t>(task)].dirty = true;
+  }
+
+ private:
+  /// Partition-independent per-resource data of one task's analysis.
+  struct ResourceStatic {
+    ResourceId q = 0;
+    int max_requests = 0;
+    /// Own concurrent requests spun on once each (window-side term).
+    Time own_window = 0;
+    /// Every other user of l_q: (j, N*L), for the window-demand cap.
+    std::vector<std::pair<int, Time>> contenders;
+  };
+  struct TaskStatics {
+    bool ready = false;
+    std::vector<ResourceStatic> resources;  // in used_resources() order
+    /// Sorted union of tasks sharing any resource with tau_i.
+    std::vector<int> contender_tasks;
+  };
+  struct State {
+    bool dirty = true;
+    int mi = 1;
+    std::vector<Time> fifo_bound;  // N_{i,q} * spin_delay, per resource
+    std::vector<std::pair<int, Time>> preempt_demand;
+  };
+
+  const TaskStatics& prepared_statics(int task) const {
+    return statics_[static_cast<std::size_t>(task)];
+  }
+
+  void build_statics(int task) {
+    TaskStatics& ps = statics_[static_cast<std::size_t>(task)];
+    const DagTask& ti = ts_.task(task);
+    std::vector<char> seen(static_cast<std::size_t>(ts_.size()), 0);
+    for (ResourceId q : ti.used_resources()) {
+      ResourceStatic rs;
+      rs.q = q;
+      rs.max_requests = ti.usage(q).max_requests;
+      rs.own_window =
           static_cast<Time>(std::max(0, ti.usage(q).max_requests - 1)) *
           ti.usage(q).cs_length;
-      spin += std::min(fifo_bound, window_demand);
+      for (int j = 0; j < ts_.size(); ++j) {
+        if (j == task) continue;
+        const auto& use = ts_.task(j).usage(q);
+        if (!use.used()) continue;
+        rs.contenders.emplace_back(j, use.demand());
+        if (!seen[static_cast<std::size_t>(j)]) {
+          seen[static_cast<std::size_t>(j)] = 1;
+          ps.contender_tasks.push_back(j);
+        }
+      }
+      ps.resources.push_back(std::move(rs));
     }
-    return base + spin + preemption(demand, ts, hint, r);
-  };
-  return solve_fixed_point(f, base, ti.deadline()).value;
+    std::sort(ps.contender_tasks.begin(), ps.contender_tasks.end());
+    ps.ready = true;
+  }
+
+  std::vector<TaskStatics> statics_;
+  std::vector<State> state_;
+};
+
+}  // namespace
+
+std::unique_ptr<PreparedAnalysis> SpinSonAnalysis::prepare(
+    AnalysisSession& session) const {
+  return std::make_unique<SpinSonPrepared>(session);
 }
 
 }  // namespace dpcp

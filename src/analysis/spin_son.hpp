@@ -29,8 +29,8 @@ class SpinSonAnalysis final : public SchedAnalysis {
     return ResourcePlacement::kNone;  // local execution: no resource pinning
   }
 
-  std::optional<Time> wcrt(const TaskSet& ts, const Partition& part, int task,
-                           const std::vector<Time>& hint) const override;
+  std::unique_ptr<PreparedAnalysis> prepare(
+      AnalysisSession& session) const override;
 
   /// Worst-case spin delay of one request of tau_i to l_q (exposed for
   /// tests).

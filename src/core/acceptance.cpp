@@ -40,6 +40,9 @@ AcceptanceCurve run_acceptance(const Scenario& scenario,
   sweep.seed = options.seed;
   sweep.threads = options.threads;
   SweepResult result = run_sweep({scenario}, kinds, sweep);
+  // Single scenario: the sweep-level generator counters are exactly this
+  // curve's, so the facade keeps its historical per-curve contract.
+  result.curves.front().gen_stats = result.gen_stats;
   return std::move(result.curves.front());
 }
 

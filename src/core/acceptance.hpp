@@ -33,9 +33,10 @@ struct AcceptanceCurve {
   std::vector<std::vector<std::int64_t>> accepted;
   /// Task sets actually tested per point (generation may skip a sample).
   std::vector<std::int64_t> samples;
-  /// Generator health counters.  When the curve comes from a multi-
-  /// scenario run_sweep(), these are sweep-global and parked on the first
-  /// curve; see exp/engine.cpp.
+  /// Generator health counters for *this* curve.  Deprecated at the sweep
+  /// level: run_sweep() reports sweep-global counters in
+  /// SweepResult::gen_stats (generation is per task set, not per curve);
+  /// only the single-scenario run_acceptance() facade still fills this.
   GenStats gen_stats;
 
   /// Acceptance ratio of `analysis` at utilization point `point`.

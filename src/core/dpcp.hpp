@@ -27,6 +27,8 @@
 #include "analysis/fed_fp.hpp"
 #include "analysis/interface.hpp"
 #include "analysis/lpp.hpp"
+#include "analysis/prepared.hpp"
+#include "analysis/session.hpp"
 #include "analysis/spin_son.hpp"
 #include "core/acceptance.hpp"
 #include "core/dominance.hpp"

@@ -73,7 +73,8 @@ SweepResult run_sweep(const std::vector<Scenario>& scenarios,
     // Per-worker analysis instances and per-scenario accumulators; the
     // shared curves are touched only once, under the merge mutex.
     std::vector<std::unique_ptr<SchedAnalysis>> analyses;
-    for (AnalysisKind k : kinds) analyses.push_back(make_analysis(k));
+    for (AnalysisKind k : kinds)
+      analyses.push_back(make_analysis(k, options.analysis));
 
     std::vector<std::vector<std::vector<std::int64_t>>> local_accepted(n_scen);
     std::vector<std::vector<std::int64_t>> local_samples(n_scen);
@@ -107,8 +108,12 @@ SweepResult run_sweep(const std::vector<Scenario>& scenarios,
       const auto ts = generate_taskset(rng, params, &local_gen);
       if (ts) {
         ++local_samples[s][point];
+        // One analysis session per generated task set, shared by every
+        // analysis kind: partition-independent work (path signatures,
+        // priority order) is computed once for the paired comparison.
+        AnalysisSession session(*ts);
         for (std::size_t a = 0; a < analyses.size(); ++a)
-          if (analyses[a]->test(*ts, scenarios[s].m).schedulable)
+          if (analyses[a]->test(session, scenarios[s].m).schedulable)
             ++local_accepted[s][a][point];
       }
       if (remaining[s].fetch_sub(1) == 1 && options.progress) {
@@ -129,10 +134,9 @@ SweepResult run_sweep(const std::vector<Scenario>& scenarios,
       for (std::size_t p = 0; p < points; ++p)
         curve.samples[p] += local_samples[s][p];
     }
-    // Generator stats are sweep-global; park them on the first curve and
-    // let summarize() report them (per-scenario attribution would require
-    // per-item stats plumbing for no analytical benefit).
-    if (n_scen > 0) result.curves[0].gen_stats.merge(local_gen);
+    // Generator stats are sweep-global (per-scenario attribution would
+    // require per-item stats plumbing for no analytical benefit).
+    result.gen_stats.merge(local_gen);
   };
 
   std::vector<std::thread> pool;
@@ -168,8 +172,8 @@ SweepSummary summarize(const SweepResult& result) {
   summary.names = result.curves.front().names;
   summary.totals.resize(summary.names.size());
   summary.scenario_ratio.resize(summary.names.size());
+  summary.gen_stats = result.gen_stats;
   for (const AcceptanceCurve& curve : result.curves) {
-    summary.gen_stats.merge(curve.gen_stats);
     for (std::size_t a = 0; a < summary.names.size(); ++a) {
       RunningStat per_scenario;
       for (std::size_t p = 0; p < curve.utilization.size(); ++p) {

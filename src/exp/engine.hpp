@@ -43,6 +43,8 @@ struct SweepOptions {
   /// Normalized utilization points (fraction of m) overriding the paper's
   /// per-scenario grid of utilization_grid(); empty = paper grid.
   std::vector<double> norm_utilizations;
+  /// Tuning knobs forwarded to make_analysis() (EP path/signature budgets).
+  AnalysisOptions analysis;
   /// Invoked whenever a scenario finishes, as (scenarios done, total).
   /// Called from worker threads, serialized by the engine.
   std::function<void(std::size_t, std::size_t)> progress;
@@ -51,6 +53,9 @@ struct SweepOptions {
 /// One AcceptanceCurve per input scenario, in input order.
 struct SweepResult {
   std::vector<AcceptanceCurve> curves;
+  /// Generator health counters merged over the whole sweep (generation is
+  /// per task set, not per analysis, so these are sweep-level).
+  GenStats gen_stats;
 };
 
 /// Base seed of scenario `index` within a sweep rooted at `base_seed`.

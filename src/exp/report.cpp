@@ -54,7 +54,18 @@ std::string sweep_to_csv(const SweepResult& result) {
 }
 
 std::string sweep_to_json(const SweepResult& result) {
-  std::string out = "{\n  \"scenarios\": [";
+  const GenStats& gs = result.gen_stats;
+  std::string out = strfmt(
+      "{\n  \"gen_stats\": {\"attempts\": %lld, \"rejections\": %lld, "
+      "\"fallbacks\": %lld, \"task_retries\": %lld, "
+      "\"usage_downscales\": %lld, \"failures\": %lld},",
+      static_cast<long long>(gs.rfs.attempts),
+      static_cast<long long>(gs.rfs.rejections),
+      static_cast<long long>(gs.rfs.fallbacks),
+      static_cast<long long>(gs.task_retries),
+      static_cast<long long>(gs.usage_downscales),
+      static_cast<long long>(gs.failures));
+  out += "\n  \"scenarios\": [";
   for (std::size_t s = 0; s < result.curves.size(); ++s) {
     const AcceptanceCurve& curve = result.curves[s];
     const Scenario& sc = curve.scenario;

@@ -19,8 +19,11 @@ namespace dpcp {
 /// cs_max_us,norm_util,util,samples,analysis,accepted,ratio.
 std::string sweep_to_csv(const SweepResult& result);
 
-/// JSON document: {"scenarios": [{name, m, ..., utilization: [...],
-/// samples: [...], analyses: [{name, accepted: [...], ratio: [...]}]}]}.
+/// JSON document: {"gen_stats": {attempts, rejections, fallbacks,
+/// task_retries, usage_downscales, failures}, "scenarios": [{name, m, ...,
+/// utilization: [...], samples: [...], analyses: [{name, accepted: [...],
+/// ratio: [...]}]}]}.  gen_stats are the sweep-level generator health
+/// counters of SweepResult::gen_stats.
 std::string sweep_to_json(const SweepResult& result);
 
 /// Serialize-and-write wrappers over io/'s write_text_file; on failure

@@ -1,6 +1,8 @@
 #include "gen/erdos_renyi.hpp"
 
 #include <cassert>
+#include <utility>
+#include <vector>
 
 namespace dpcp {
 
@@ -8,9 +10,19 @@ Dag erdos_renyi_dag(Rng& rng, int num_vertices, double edge_prob) {
   assert(num_vertices > 0);
   assert(edge_prob >= 0.0 && edge_prob <= 1.0);
   Dag dag(num_vertices);
+  // Draw the edge set first (same RNG sequence as inserting edge by edge),
+  // then build the adjacency in one pass with exact per-vertex capacity:
+  // forward pairs (x < y) are unique by construction, so add_edge()'s
+  // duplicate scan is unnecessary, and bulk insertion avoids growing every
+  // tiny successor/predecessor list through the allocator.
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  edges.reserve(static_cast<std::size_t>(
+                    edge_prob * 0.55 * num_vertices * (num_vertices - 1)) +
+                8);
   for (VertexId x = 0; x < num_vertices; ++x)
     for (VertexId y = x + 1; y < num_vertices; ++y)
-      if (rng.bernoulli(edge_prob)) dag.add_edge(x, y);
+      if (rng.bernoulli(edge_prob)) edges.emplace_back(x, y);
+  dag.bulk_add_edges(edges);
   return dag;
 }
 

@@ -12,7 +12,7 @@ std::vector<double> rand_fixed_sum(Rng& rng, int n, double sum, double lo,
   assert(n >= 1);
   assert(lo <= hi);
   // Tolerate tiny numerical slack at the boundaries.
-  const double eps = 1e-9 * std::max(1.0, std::abs(sum));
+  [[maybe_unused]] const double eps = 1e-9 * std::max(1.0, std::abs(sum));
   assert(sum >= n * lo - eps && sum <= n * hi + eps);
 
   RandFixedSumStats local;

@@ -111,13 +111,20 @@ std::optional<DagTask> generate_task(Rng& rng, const GenParams& p,
     }
 
     DagTask task(-1, T, D, nr);
+    task.reserve_vertices(nv);
     for (int x = 0; x < nv; ++x) {
-      std::vector<int> reqs(usage.n.size(), 0);
+      // Allocated only when the vertex actually requests something — the
+      // common all-zero case passes an empty vector (trailing zeros are
+      // elided by add_vertex anyway).
+      std::vector<int> reqs;
       Time cs_x = 0;
       for (std::size_t q = 0; q < usage.n.size(); ++q) {
         if (usage.n[q] == 0) continue;
-        reqs[q] = static_cast<int>(req_of[q][static_cast<std::size_t>(x)]);
-        cs_x += static_cast<Time>(reqs[q]) * usage.len[q];
+        const int r = static_cast<int>(req_of[q][static_cast<std::size_t>(x)]);
+        if (r == 0) continue;
+        if (reqs.empty()) reqs.assign(usage.n.size(), 0);
+        reqs[q] = r;
+        cs_x += static_cast<Time>(r) * usage.len[q];
       }
       const Time wcet =
           cs_x + p.min_vertex_slice + share[static_cast<std::size_t>(x)];

@@ -18,6 +18,12 @@ VertexId Dag::add_vertex() {
   return size() - 1;
 }
 
+void Dag::reserve(int vertex_count) {
+  assert(vertex_count >= 0);
+  succ_.reserve(static_cast<std::size_t>(vertex_count));
+  pred_.reserve(static_cast<std::size_t>(vertex_count));
+}
+
 void Dag::add_edge(VertexId from, VertexId to) {
   assert(from >= 0 && from < size());
   assert(to >= 0 && to < size());
@@ -25,6 +31,31 @@ void Dag::add_edge(VertexId from, VertexId to) {
   if (has_edge(from, to)) return;
   succ_[from].push_back(to);
   pred_[to].push_back(from);
+}
+
+void Dag::bulk_add_edges(
+    const std::vector<std::pair<VertexId, VertexId>>& edges) {
+  std::vector<int> out_deg(succ_.size(), 0), in_deg(pred_.size(), 0);
+  for (const auto& [from, to] : edges) {
+    assert(from >= 0 && from < size());
+    assert(to >= 0 && to < size());
+    assert(from != to);
+    ++out_deg[static_cast<std::size_t>(from)];
+    ++in_deg[static_cast<std::size_t>(to)];
+  }
+  for (std::size_t v = 0; v < succ_.size(); ++v) {
+    if (out_deg[v] > 0)
+      succ_[v].reserve(succ_[v].size() + static_cast<std::size_t>(out_deg[v]));
+    if (in_deg[v] > 0)
+      pred_[v].reserve(pred_[v].size() + static_cast<std::size_t>(in_deg[v]));
+  }
+  for (const auto& [from, to] : edges) {
+    // Checked at insertion time so duplicates *within* the batch are
+    // caught too, keeping the documented add_edge() equivalence honest.
+    assert(!has_edge(from, to));
+    succ_[from].push_back(to);
+    pred_[to].push_back(from);
+  }
 }
 
 bool Dag::has_edge(VertexId from, VertexId to) const {

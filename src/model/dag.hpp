@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/time.hpp"
@@ -23,9 +24,18 @@ class Dag {
 
   void resize(int vertex_count);
   VertexId add_vertex();
+  /// Pre-allocates adjacency storage for `vertex_count` vertices (the
+  /// generator knows |V| before building; avoids realloc churn).
+  void reserve(int vertex_count);
 
   /// Adds the precedence edge (from -> to).  Duplicate edges are ignored.
   void add_edge(VertexId from, VertexId to);
+
+  /// Adds a batch of edges known to be distinct and not yet present
+  /// (asserted in debug builds), reserving exact adjacency capacity first.
+  /// Equivalent to add_edge() per pair, in order; used by the generator's
+  /// bulk construction path.
+  void bulk_add_edges(const std::vector<std::pair<VertexId, VertexId>>& edges);
 
   int size() const { return static_cast<int>(succ_.size()); }
   bool has_edge(VertexId from, VertexId to) const;

@@ -32,10 +32,12 @@ struct PathEnumResult {
   /// Resource ids corresponding to positions of PathSignature::requests.
   std::vector<ResourceId> resource_index;
   /// Complete paths visited by the DFS (post-merging classes may be fewer).
+  /// 0 when truncation was decided by the path-count shortcut, in which
+  /// case the DFS never ran.
   std::int64_t paths_visited = 0;
-  /// True if enumeration stopped at `max_paths`; the result is then a
-  /// subset and the caller must fall back to a sound over-approximation
-  /// (the EN bound).
+  /// True iff the task has >= `max_paths` complete paths; signatures are
+  /// then empty/partial and the caller must fall back to a sound
+  /// over-approximation (the EN bound).
   bool truncated = false;
 };
 

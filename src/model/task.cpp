@@ -10,11 +10,23 @@ VertexId DagTask::add_vertex(Time wcet, std::vector<int> requests) {
   Vertex v;
   v.wcet = wcet;
   v.requests = std::move(requests);
-  v.requests.resize(static_cast<std::size_t>(num_resources()), 0);
+  // Trailing zeros need no storage: requests_to() reads past the stored
+  // size as zero, and most vertices request nothing at all.  Shrinking
+  // (never growing) also caps the vector at the resource arity, as the
+  // historical zero-extension did.
+  std::size_t n = std::min(v.requests.size(),
+                           static_cast<std::size_t>(num_resources()));
+  while (n > 0 && v.requests[n - 1] == 0) --n;
+  v.requests.resize(n);
   vertices_.push_back(std::move(v));
   const VertexId id = graph_.add_vertex();
   assert(id == static_cast<VertexId>(vertices_.size()) - 1);
   return id;
+}
+
+void DagTask::reserve_vertices(int count) {
+  vertices_.reserve(static_cast<std::size_t>(count));
+  graph_.reserve(count);
 }
 
 std::vector<ResourceId> DagTask::used_resources() const {
@@ -30,8 +42,9 @@ void DagTask::finalize() {
   for (auto& u : usage_) u.max_requests = 0;
   for (const Vertex& v : vertices_) {
     wcet_ += v.wcet;
-    for (ResourceId q = 0; q < num_resources(); ++q)
-      usage_[q].max_requests += v.requests_to(q);
+    // v.requests never extends past num_resources() (see add_vertex).
+    for (std::size_t q = 0; q < v.requests.size(); ++q)
+      usage_[q].max_requests += v.requests[q];
   }
   lstar_ = graph_.longest_path_weight(vertex_weights());
 }

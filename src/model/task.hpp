@@ -17,8 +17,9 @@
 namespace dpcp {
 
 /// One DAG vertex v_{i,x}: WCET C_{i,x} (critical sections included) and the
-/// per-resource request counts N_{i,x,q} (dense over the task-set's
-/// resource ids; zero-filled).
+/// per-resource request counts N_{i,x,q}, indexed by resource id with
+/// trailing zeros elided (read through requests_to(), which zero-fills past
+/// the stored size; most vertices store nothing).
 struct Vertex {
   Time wcet = 0;                   // C_{i,x}
   std::vector<int> requests;       // requests[q] = N_{i,x,q}
@@ -52,6 +53,9 @@ class DagTask {
 
   /// Appends a vertex; `requests` may be shorter than num_resources.
   VertexId add_vertex(Time wcet, std::vector<int> requests = {});
+
+  /// Pre-allocates vertex and adjacency storage (generator fast path).
+  void reserve_vertices(int count);
 
   int vertex_count() const { return static_cast<int>(vertices_.size()); }
   const Vertex& vertex(VertexId v) const { return vertices_[v]; }

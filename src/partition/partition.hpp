@@ -80,6 +80,16 @@ class Partition {
   void clear_resource_assignment() {
     std::fill(resource_proc_.begin(), resource_proc_.end(), kUnassigned);
   }
+  /// The full resource-to-processor map (kUnassigned where unplaced).
+  const std::vector<ProcessorId>& resource_assignment() const {
+    return resource_proc_;
+  }
+  /// Restores a complete placement previously read via
+  /// resource_assignment() (the WFD memo's fast path).
+  void restore_resource_assignment(const std::vector<ProcessorId>& map) {
+    assert(map.size() == resource_proc_.size());
+    resource_proc_ = map;
+  }
   /// Phi(p_k): resources placed on processor k.
   std::vector<ResourceId> resources_on_processor(ProcessorId p) const;
   /// Resources placed on the same processor as q (including q itself).

@@ -7,23 +7,20 @@
 namespace dpcp {
 namespace {
 
-/// Task indices sorted by decreasing base priority.
-std::vector<int> priority_order(const TaskSet& ts) {
-  std::vector<int> order(static_cast<std::size_t>(ts.size()));
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&](int a, int b) {
-    return ts.task(a).priority() > ts.task(b).priority();
-  });
-  return order;
-}
-
 bool place_resources(const TaskSet& ts, Partition& part,
-                     ResourcePlacement policy) {
-  switch (policy) {
+                     const PartitionOptions& options) {
+  switch (options.placement) {
     case ResourcePlacement::kNone:
       part.clear_resource_assignment();
       return true;
     case ResourcePlacement::kWfd:
+      if (options.wfd_cache) {
+        if (const auto hit = options.wfd_cache->try_restore(part))
+          return *hit;
+        const bool feasible = wfd_assign_resources(ts, part).feasible;
+        options.wfd_cache->store(part, feasible);
+        return feasible;
+      }
       return wfd_assign_resources(ts, part).feasible;
     case ResourcePlacement::kFirstFitDecreasing:
       return ffd_assign_resources(ts, part).feasible;
@@ -32,6 +29,46 @@ bool place_resources(const TaskSet& ts, Partition& part,
 }
 
 }  // namespace
+
+std::vector<int> WfdPlacementCache::key(const Partition& part) {
+  std::vector<int> k;
+  k.reserve(static_cast<std::size_t>(part.num_tasks()) * 3);
+  for (int i = 0; i < part.num_tasks(); ++i) {
+    const auto& cluster = part.cluster(i);
+    k.push_back(static_cast<int>(cluster.size()));
+    k.insert(k.end(), cluster.begin(), cluster.end());
+  }
+  return k;
+}
+
+std::size_t WfdPlacementCache::KeyHash::operator()(
+    const std::vector<int>& v) const {
+  std::size_t h = 0x811C9DC5u;
+  for (int x : v)
+    h ^= static_cast<std::size_t>(x) + 0x9E3779B9u + (h << 6) + (h >> 2);
+  return h;
+}
+
+std::optional<bool> WfdPlacementCache::try_restore(Partition& part) const {
+  const auto it = map_.find(key(part));
+  if (it == map_.end()) return std::nullopt;
+  part.restore_resource_assignment(it->second.second);
+  return it->second.first;
+}
+
+void WfdPlacementCache::store(const Partition& part, bool feasible) {
+  map_.emplace(key(part),
+               std::make_pair(feasible, part.resource_assignment()));
+}
+
+std::vector<int> analysis_priority_order(const TaskSet& ts) {
+  std::vector<int> order(static_cast<std::size_t>(ts.size()));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return ts.task(a).priority() > ts.task(b).priority();
+  });
+  return order;
+}
 
 WfdOutcome ffd_assign_resources(const TaskSet& ts, Partition& part) {
   WfdOutcome out;
@@ -89,10 +126,11 @@ WfdOutcome ffd_assign_resources(const TaskSet& ts, Partition& part) {
 }
 
 PartitionOutcome partition_and_analyze(const TaskSet& ts, int m,
-                                       const WcrtOracle& oracle,
+                                       WcrtOracle& oracle,
                                        const PartitionOptions& options) {
   PartitionOutcome out;
-  out.wcrt.assign(static_cast<std::size_t>(ts.size()), kTimeInfinity);
+  const std::size_t n = static_cast<std::size_t>(ts.size());
+  out.wcrt.assign(n, kTimeInfinity);
 
   auto initial = initial_federated_partition(ts, m);
   if (!initial) {
@@ -103,29 +141,60 @@ PartitionOutcome partition_and_analyze(const TaskSet& ts, int m,
   Partition part = std::move(*initial);
   ProcessorId next_spare = part.assigned_processors();
 
-  const std::vector<int> order = priority_order(ts);
+  const std::vector<int> computed_order =
+      options.priority_order ? std::vector<int>() : analysis_priority_order(ts);
+  const std::vector<int>& order =
+      options.priority_order ? *options.priority_order : computed_order;
+
+  // Cross-round re-analysis cache: the previous round's oracle answer per
+  // task (where one was issued).  A task may reuse its answer when (i) the
+  // oracle certifies its partition inputs unchanged and (ii) every task
+  // analysed before it this round produced the same bound as last round —
+  // then the hint vector it would see is bitwise identical, and the
+  // oracle's purity guarantees the same result.  Skipping is therefore
+  // exactly behavior-preserving; it only avoids redundant recomputation.
+  std::vector<char> prev_called(n, 0), called(n, 0);
+  std::vector<std::optional<Time>> prev_result(n), result(n);
+  bool have_prev = false;
 
   // Each round consumes at least one spare processor, so the loop runs at
   // most m - sum(m_i) + 1 <= m - 2n + 1 times for all-heavy sets (Sec. V).
   while (true) {
     ++out.rounds;
-    if (!place_resources(ts, part, options.placement)) {
+    if (!place_resources(ts, part, options)) {
       out.failure = "resource placement infeasible";
       out.partition = std::move(part);
       return out;
     }
+    oracle.bind(part);
 
     // Response-time hints: D_j until a bound is computed this round.
-    std::vector<Time> hint(static_cast<std::size_t>(ts.size()));
+    std::vector<Time> hint(n);
     for (int j = 0; j < ts.size(); ++j)
       hint[static_cast<std::size_t>(j)] = ts.task(j).deadline();
 
+    std::fill(called.begin(), called.end(), 0);
+    // True while the hint state at the current position is provably equal
+    // to the previous round's at the same position.
+    bool hints_match = have_prev;
     bool all_ok = true;
     for (int i : order) {
-      const auto r = oracle(ts, part, i, hint);
+      const std::size_t ui = static_cast<std::size_t>(i);
+      std::optional<Time> r;
+      if (hints_match && prev_called[ui] && oracle.task_unchanged(i)) {
+        r = prev_result[ui];
+      } else {
+        r = oracle.wcrt(i, hint);
+        ++out.oracle_calls;
+      }
+      called[ui] = 1;
+      result[ui] = r;
+      if (have_prev && (!prev_called[ui] || r != prev_result[ui]))
+        hints_match = false;
+
       if (r && *r <= ts.task(i).deadline()) {
-        hint[static_cast<std::size_t>(i)] = *r;
-        out.wcrt[static_cast<std::size_t>(i)] = *r;
+        hint[ui] = *r;
+        out.wcrt[ui] = *r;
         continue;
       }
       // Unschedulable task: grant one spare processor and restart.  A
@@ -152,7 +221,17 @@ PartitionOutcome partition_and_analyze(const TaskSet& ts, int m,
       out.partition = std::move(part);
       return out;
     }
+    prev_called.swap(called);
+    prev_result.swap(result);
+    have_prev = true;
   }
+}
+
+PartitionOutcome partition_and_analyze(const TaskSet& ts, int m,
+                                       const WcrtFn& oracle,
+                                       const PartitionOptions& options) {
+  FunctionWcrtOracle adapted(ts, oracle);
+  return partition_and_analyze(ts, m, adapted, options);
 }
 
 }  // namespace dpcp

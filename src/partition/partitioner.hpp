@@ -1,9 +1,9 @@
 // Iterative task and resource partitioning (Algorithm 1 of the paper).
 //
 // The loop is generic over the schedulability analysis: a WCRT oracle maps
-// (task set, partition, task index, response-time hints) to a bound.  This
-// keeps the partition library independent of the analysis library; each
-// locking protocol plugs its own analysis in.
+// (task index, response-time hints) to a bound under the currently bound
+// partition.  This keeps the partition library independent of the analysis
+// library; each locking protocol plugs its own analysis in.
 //
 //   1. Give every task its minimum federated cluster; fail if they do not
 //      fit on m processors.
@@ -11,10 +11,18 @@
 //   3. Analyse tasks in decreasing priority order.  On the first failure,
 //      grant that task one spare processor, roll the resource placement
 //      back, and restart from step 2; fail when no spare remains.
+//
+// The oracle interface is *stateful* so analyses can amortize work across
+// the rounds of step 3: bind() announces each round's partition, and
+// task_unchanged() lets the loop skip re-analysing a task whose inputs are
+// provably identical to the previous round (see partition_and_analyze).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <optional>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "model/taskset.hpp"
@@ -24,17 +32,88 @@
 
 namespace dpcp {
 
-/// WCRT bound of `task` under `part`.  `wcrt_hint[j]` is the response-time
-/// bound to assume for every other task j (the caller maintains computed
-/// bounds for higher-priority tasks and D_j for the rest).  Returns nullopt
-/// when the bound exceeds the deadline or the recurrence diverges.
-using WcrtOracle = std::function<std::optional<Time>(
+/// Per-task WCRT oracle bound to one task set, queried across Algorithm-1
+/// rounds.  `wcrt_hint[j]` is the response-time bound to assume for every
+/// other task j (the caller maintains computed bounds for higher-priority
+/// tasks and D_j for the rest).  wcrt() returns nullopt when the bound
+/// exceeds the deadline or the recurrence diverges, and must be a pure
+/// function of (task set, partition inputs, hint).
+class WcrtOracle {
+ public:
+  virtual ~WcrtOracle() = default;
+
+  /// Announces the partition for the next round of queries.  Called by
+  /// partition_and_analyze() once per round, after resource placement;
+  /// `part` stays alive and unmodified until the next bind().
+  virtual void bind(const Partition& part) { part_ = &part; }
+
+  /// True when everything wcrt(task, ·) reads from the bound partition is
+  /// unchanged since the *previous* bind() — i.e. wcrt(task, h) would
+  /// return the same value as last round for an identical hint h.  The
+  /// default never claims this, which is always sound.
+  virtual bool task_unchanged(int /*task*/) const { return false; }
+
+  /// WCRT bound of `task` under the bound partition.
+  virtual std::optional<Time> wcrt(int task,
+                                   const std::vector<Time>& wcrt_hint) = 0;
+
+ protected:
+  /// The partition of the current round (bound by the base-class bind()).
+  const Partition& partition() const { return *part_; }
+
+ private:
+  const Partition* part_ = nullptr;
+};
+
+/// Stateless oracle signature kept for hand-written oracles (tests,
+/// ablations): (task set, partition, task index, hints) -> bound.
+using WcrtFn = std::function<std::optional<Time>(
     const TaskSet& ts, const Partition& part, int task,
     const std::vector<Time>& wcrt_hint)>;
+
+/// Adapts a stateless WcrtFn to the session interface.  Never reports
+/// task_unchanged, so every task is re-analysed every round — exactly the
+/// pre-session behavior.
+class FunctionWcrtOracle final : public WcrtOracle {
+ public:
+  FunctionWcrtOracle(const TaskSet& ts, WcrtFn fn)
+      : ts_(ts), fn_(std::move(fn)) {}
+  std::optional<Time> wcrt(int task,
+                           const std::vector<Time>& wcrt_hint) override {
+    return fn_(ts_, partition(), task, wcrt_hint);
+  }
+
+ private:
+  const TaskSet& ts_;
+  WcrtFn fn_;
+};
 
 /// Resource-placement policy; WFD is the paper's Algorithm 2, FIRST_FIT is
 /// an ablation baseline (decreasing utilization, first cluster that fits).
 enum class ResourcePlacement { kNone, kWfd, kFirstFitDecreasing };
+
+/// Memo of WFD placements keyed by the cluster shape — WFD's only
+/// partition-dependent input (the task set is fixed per session).  Owned
+/// by an AnalysisSession and shared by every analysis run on one task
+/// set: DPCP-p-EP and -EN walk identical early Algorithm-1 rounds, so
+/// their placements repeat and the second run restores them for free.
+class WfdPlacementCache {
+ public:
+  /// On a cluster-shape hit, restores the memoized placement into `part`
+  /// and returns its feasibility; nullopt on miss.
+  std::optional<bool> try_restore(Partition& part) const;
+  /// Records the placement just computed for `part`'s cluster shape.
+  void store(const Partition& part, bool feasible);
+
+ private:
+  static std::vector<int> key(const Partition& part);
+  struct KeyHash {
+    std::size_t operator()(const std::vector<int>& v) const;
+  };
+  std::unordered_map<std::vector<int>,
+                     std::pair<bool, std::vector<ProcessorId>>, KeyHash>
+      map_;
+};
 
 struct PartitionOutcome {
   bool schedulable = false;
@@ -44,16 +123,33 @@ struct PartitionOutcome {
   std::vector<Time> wcrt;
   /// Outer rounds executed (processor-grant iterations + 1).
   int rounds = 0;
+  /// Oracle wcrt() queries actually issued (cache-skipped tasks excluded).
+  std::int64_t oracle_calls = 0;
   /// Why the set was rejected (empty when schedulable).
   std::string failure;
 };
 
 struct PartitionOptions {
   ResourcePlacement placement = ResourcePlacement::kWfd;
+  /// Task indices in decreasing base-priority order, precomputed by the
+  /// caller (e.g. an AnalysisSession shared across analyses); must equal
+  /// analysis_priority_order(ts).  nullptr = computed internally.
+  const std::vector<int>* priority_order = nullptr;
+  /// Optional WFD placement memo (session-owned); nullptr = no caching.
+  WfdPlacementCache* wfd_cache = nullptr;
 };
 
+/// Task indices sorted by decreasing base priority — the order Algorithm 1
+/// analyses tasks in.
+std::vector<int> analysis_priority_order(const TaskSet& ts);
+
 PartitionOutcome partition_and_analyze(const TaskSet& ts, int m,
-                                       const WcrtOracle& oracle,
+                                       WcrtOracle& oracle,
+                                       const PartitionOptions& options = {});
+
+/// Convenience overload for stateless oracles.
+PartitionOutcome partition_and_analyze(const TaskSet& ts, int m,
+                                       const WcrtFn& oracle,
                                        const PartitionOptions& options = {});
 
 /// First-fit-decreasing placement used by the ablation study.

@@ -13,16 +13,25 @@ std::vector<std::int64_t> Rng::composition(std::int64_t total,
     return out;
   }
   // Choose parts-1 cut points uniformly in [0, total] (with repetition);
-  // gaps between sorted cuts form a uniform weak composition.
-  std::vector<std::int64_t> cuts(parts - 1);
-  for (auto& c : cuts) c = uniform_int(0, total);
-  std::sort(cuts.begin(), cuts.end());
-  std::int64_t prev = 0;
-  for (std::size_t i = 0; i + 1 < parts; ++i) {
-    out[i] = cuts[i] - prev;
-    prev = cuts[i];
+  // gaps between sorted cuts form a uniform weak composition.  The cuts
+  // are drawn into `out` itself and differenced in place, back to front,
+  // so the (hot) call allocates once instead of twice.
+  for (std::size_t i = 0; i + 1 < parts; ++i) out[i] = uniform_int(0, total);
+  if (total <= 256) {
+    // Small value range (the per-resource request spread: total = N_{i,q}
+    // <= 50 over ~|V| parts): counting sort beats comparison sort.
+    std::vector<std::int32_t> count(static_cast<std::size_t>(total) + 1, 0);
+    for (std::size_t i = 0; i + 1 < parts; ++i)
+      ++count[static_cast<std::size_t>(out[i])];
+    std::size_t i = 0;
+    for (std::int64_t v = 0; v <= total; ++v)
+      for (std::int32_t c = count[static_cast<std::size_t>(v)]; c > 0; --c)
+        out[i++] = v;
+  } else {
+    std::sort(out.begin(), out.end() - 1);
   }
-  out[parts - 1] = total - prev;
+  out[parts - 1] = total - out[parts - 2];
+  for (std::size_t i = parts - 2; i > 0; --i) out[i] -= out[i - 1];
   return out;
 }
 

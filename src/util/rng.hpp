@@ -39,16 +39,36 @@ class Rng {
     return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
   }
 
+  /// Canonical double in [0, 1): one raw engine draw scaled by 2^-64.
+  /// Reproduces std::generate_canonical<double, 53, mt19937_64> (one draw,
+  /// exact power-of-two scaling, >= 1 guard) bit-for-bit — verified
+  /// against libstdc++ — while pinning the mapping in-repo, so the
+  /// synthesis streams no longer depend on standard-library distribution
+  /// internals and the inlined fast path avoids their per-call overhead
+  /// (this is the hottest call of task-set generation, via bernoulli()).
+  double canonical() {
+    double c = static_cast<double>(engine_()) * 0x1p-64;
+    if (c >= 1.0) c = std::nextafter(1.0, 0.0);
+    return c;
+  }
+
   /// Uniform real in [lo, hi).
   double uniform_real(double lo, double hi) {
     assert(lo <= hi);
-    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+    return canonical() * (hi - lo) + lo;
   }
 
   /// True with probability p.
   bool bernoulli(double p) {
     assert(p >= 0.0 && p <= 1.0);
-    return std::bernoulli_distribution(p)(engine_);
+    // canonical() < p, algebraically rescaled by 2^64 (exact: power-of-two
+    // scaling) so the hot path — millions of edge draws per task set — is
+    // one convert + compare.  p == 1.0 needs the canonical guard's
+    // "always true" semantics and is hoisted out (it still consumes one
+    // draw, like the canonical form).
+    const double x = static_cast<double>(engine_());
+    if (p >= 1.0) return true;
+    return x < p * 0x1p64;
   }
 
   /// Log-uniform real in [lo, hi]: exp(U[ln lo, ln hi]).  Used for task

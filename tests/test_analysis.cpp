@@ -208,8 +208,9 @@ TEST(DpcpP, EnSchedulableImpliesEpSchedulable) {
     params.total_utilization = 6.0;
     const auto ts = generate_taskset(rng, params);
     ASSERT_TRUE(ts.has_value());
-    if (en.test(*ts, 16).schedulable)
+    if (en.test(*ts, 16).schedulable) {
       EXPECT_TRUE(ep.test(*ts, 16).schedulable) << "seed " << seed;
+    }
   }
 }
 

@@ -144,6 +144,39 @@ TEST(Summarize, EmptyResultIsEmptySummary) {
   EXPECT_TRUE(summary.totals.empty());
 }
 
+// ---------- generator stats ------------------------------------------------
+
+TEST(Engine, GenStatsAreSweepLevel) {
+  const auto scenarios = tiny_scenarios();
+  const SweepResult result =
+      run_sweep(scenarios, kTinyKinds, tiny_options(2));
+  // Generation happened, so the sweep-level counters moved ...
+  EXPECT_GT(result.gen_stats.rfs.attempts, 0);
+  // ... and are no longer parked on the first curve.
+  EXPECT_EQ(result.curves[0].gen_stats.rfs.attempts, 0);
+  // summarize() reports the sweep-level counters.
+  EXPECT_EQ(summarize(result).gen_stats.rfs.attempts,
+            result.gen_stats.rfs.attempts);
+}
+
+TEST(Engine, RunAcceptanceFacadeStillFillsCurveGenStats) {
+  AcceptanceOptions options;
+  options.samples_per_point = 4;
+  options.seed = 7;
+  options.threads = 1;
+  const AcceptanceCurve curve =
+      run_acceptance(tiny_scenarios()[0], kTinyKinds, options);
+  EXPECT_GT(curve.gen_stats.rfs.attempts, 0);
+}
+
+TEST(Report, JsonCarriesGenStats) {
+  const SweepResult result =
+      run_sweep(tiny_scenarios(), kTinyKinds, tiny_options(2));
+  const std::string json = sweep_to_json(result);
+  EXPECT_NE(json.find("\"gen_stats\""), std::string::npos);
+  EXPECT_NE(json.find("\"attempts\""), std::string::npos);
+}
+
 // ---------- grid -----------------------------------------------------------
 
 TEST(Grid, DefaultGridIsThePaperGrid) {

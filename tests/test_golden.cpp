@@ -1,0 +1,72 @@
+// Golden-value regression tests pinning the experiment pipeline's exact
+// output, so refactors of the analysis/partition stack (e.g. the
+// prepared-analysis pipeline) cannot silently drift behavior: the numbers
+// below were produced by the pre-refactor stateless oracle stack and must
+// never change for the default seed.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "exp/engine.hpp"
+#include "exp/grid.hpp"
+#include "exp/report.hpp"
+#include "gen/scenario.hpp"
+
+namespace dpcp {
+namespace {
+
+std::uint64_t fnv1a64(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+// 3 scenarios x 2 utilization points x all 5 analyses at seed 42,
+// 8 samples/point.  Counts recorded from the pre-refactor implementation
+// (commit bc24c1f); indices: accepted[analysis][point].
+TEST(Golden, AcceptanceCountsThreeScenariosAllAnalyses) {
+  const std::vector<Scenario> scenarios{
+      fig2_scenario('a'), fig2_scenario('b'), fig2_scenario('c')};
+  SweepOptions options;
+  options.samples_per_point = 8;
+  options.seed = 42;
+  options.norm_utilizations = {0.4, 0.6};
+  const SweepResult result =
+      run_sweep(scenarios, all_analysis_kinds(), options);
+
+  ASSERT_EQ(result.curves.size(), 3u);
+  for (const AcceptanceCurve& curve : result.curves) {
+    ASSERT_EQ(curve.samples, (std::vector<std::int64_t>{8, 8}));
+    ASSERT_EQ(curve.names.size(), 5u);
+  }
+  using Grid = std::vector<std::vector<std::int64_t>>;
+  // Analysis order: DPCP-p-EP, DPCP-p-EN, SPIN-SON, LPP, FED-FP.
+  EXPECT_EQ(result.curves[0].accepted,
+            (Grid{{3, 0}, {2, 0}, {3, 0}, {2, 0}, {8, 5}}));
+  EXPECT_EQ(result.curves[1].accepted,
+            (Grid{{0, 0}, {0, 0}, {0, 0}, {0, 0}, {8, 8}}));
+  EXPECT_EQ(result.curves[2].accepted,
+            (Grid{{7, 1}, {3, 1}, {4, 1}, {4, 1}, {8, 7}}));
+}
+
+// The full 216-scenario grid at 1 sample/point, seed 42: the long-format
+// CSV must stay byte-identical to the pre-refactor output (hash and size
+// recorded from commit bc24c1f).  This is the bit-exactness contract of
+// the prepared-analysis refactor: caching and cross-round skipping may
+// only remove redundant work, never change a number.
+TEST(Golden, FullGridCsvByteIdentical) {
+  SweepOptions options;
+  options.samples_per_point = 1;
+  options.seed = 42;
+  const SweepResult result =
+      run_sweep(all_scenarios(), all_analysis_kinds(), options);
+  const std::string csv = sweep_to_csv(result);
+  EXPECT_EQ(csv.size(), 2442712u);
+  EXPECT_EQ(fnv1a64(csv), 0x561251f54cfd1607ull);
+}
+
+}  // namespace
+}  // namespace dpcp

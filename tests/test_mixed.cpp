@@ -160,7 +160,7 @@ TEST(MixedPartitioner, FailingSharedTaskPromotedToDedicatedSpare) {
   ts.assign_rm_priorities();
   ts.finalize();
   // Oracle rejects task 1 while it shares a processor.
-  WcrtOracle oracle = [&](const TaskSet&, const Partition& p, int i,
+  WcrtFn oracle = [&](const TaskSet&, const Partition& p, int i,
                           const std::vector<Time>&) -> std::optional<Time> {
     if (i == 1 && p.task_shares_processor(1)) return std::nullopt;
     return 1;

@@ -351,6 +351,130 @@ TEST(Paths, TruncationFlagOnPathExplosion) {
   EXPECT_EQ(full.signatures.size(), static_cast<std::size_t>(diamonds + 1));
 }
 
+TEST(Paths, TruncationBoundaryIsExactlyMaxPaths) {
+  // Diamond: exactly 2 complete paths.  The budget marks a task truncated
+  // iff its path count REACHES max_paths (historical DFS semantics, now
+  // also decided by the saturating-count shortcut): a budget equal to the
+  // path count truncates, one above does not.
+  DagTask t(0, 1000, 1000, 1);
+  t.add_vertex(5, {1});
+  t.add_vertex(7, {0});
+  t.add_vertex(3, {1});
+  t.add_vertex(5, {0});
+  t.graph().add_edge(0, 1);
+  t.graph().add_edge(0, 2);
+  t.graph().add_edge(1, 3);
+  t.graph().add_edge(2, 3);
+  t.set_cs_length(0, 1);
+  t.finalize();
+
+  const auto at_cap = enumerate_path_signatures(t, 2);
+  EXPECT_TRUE(at_cap.truncated);
+
+  const auto above_cap = enumerate_path_signatures(t, 3);
+  EXPECT_FALSE(above_cap.truncated);
+  EXPECT_EQ(above_cap.paths_visited, 2);
+  ASSERT_EQ(above_cap.signatures.size(), 2u);
+  for (const auto& sig : above_cap.signatures) {
+    if (sig.requests[0] == 2)
+      EXPECT_EQ(sig.length, 13);  // head + requesting branch (3) + tail
+    else
+      EXPECT_EQ(sig.length, 17);  // head + long branch (7) + tail
+  }
+}
+
+TEST(Paths, DiamondSharedAndDistinctSignaturesMixed) {
+  // Two stacked diamonds: the first pair of branches shares a signature
+  // (merged, max length kept), the second distinguishes request vectors —
+  // 1 x 2 = 2 classes from 4 complete paths.
+  DagTask t(0, 10'000, 10'000, 2);
+  const VertexId h = t.add_vertex(1, {0, 0});
+  const VertexId a1 = t.add_vertex(9, {1, 0});
+  const VertexId a2 = t.add_vertex(4, {1, 0});  // same vector, shorter
+  const VertexId m = t.add_vertex(1, {0, 0});
+  const VertexId b1 = t.add_vertex(2, {0, 1});
+  const VertexId b2 = t.add_vertex(6, {0, 0});
+  const VertexId tl = t.add_vertex(1, {0, 0});
+  t.graph().add_edge(h, a1);
+  t.graph().add_edge(h, a2);
+  t.graph().add_edge(a1, m);
+  t.graph().add_edge(a2, m);
+  t.graph().add_edge(m, b1);
+  t.graph().add_edge(m, b2);
+  t.graph().add_edge(b1, tl);
+  t.graph().add_edge(b2, tl);
+  t.set_cs_length(0, 1);
+  t.set_cs_length(1, 1);
+  t.finalize();
+
+  const auto r = enumerate_path_signatures(t);
+  EXPECT_EQ(r.paths_visited, 4);
+  ASSERT_EQ(r.signatures.size(), 2u);
+  for (const auto& sig : r.signatures) {
+    ASSERT_EQ(sig.requests.size(), 2u);
+    EXPECT_EQ(sig.requests[0], 1);  // both classes pass one upper branch
+    if (sig.requests[1] == 1)
+      EXPECT_EQ(sig.length, 1 + 9 + 1 + 2 + 1);  // via a1 (max) and b1
+    else
+      EXPECT_EQ(sig.length, 1 + 9 + 1 + 6 + 1);  // via a1 (max) and b2
+  }
+}
+
+TEST(Paths, WideTasksUseTheGenericEnumerator) {
+  // 17 resources exceed the packed enumerator's 16-lane fast path; the
+  // generic fallback must produce the same kind of result.
+  const int nr = 17;
+  DagTask t(0, 10'000, 10'000, nr);
+  std::vector<int> head_reqs(nr, 0);
+  head_reqs[16] = 3;
+  t.add_vertex(5, head_reqs);
+  std::vector<int> a_reqs(nr, 0);
+  a_reqs[0] = 1;
+  t.add_vertex(7, a_reqs);
+  t.add_vertex(3);
+  t.add_vertex(5);
+  t.graph().add_edge(0, 1);
+  t.graph().add_edge(0, 2);
+  t.graph().add_edge(1, 3);
+  t.graph().add_edge(2, 3);
+  for (ResourceId q = 0; q < nr; ++q) t.set_cs_length(q, 1);
+  t.finalize();
+
+  const auto r = enumerate_path_signatures(t);
+  EXPECT_EQ(r.paths_visited, 2);
+  ASSERT_EQ(r.signatures.size(), 2u);
+  ASSERT_EQ(r.resource_index, (std::vector<ResourceId>{0, 16}));
+  for (const auto& sig : r.signatures) {
+    EXPECT_EQ(sig.requests[1], 3);  // the head's requests are on any path
+    EXPECT_EQ(sig.length, sig.requests[0] == 1 ? 17 : 13);
+  }
+}
+
+TEST(Paths, LargeRequestCountsUseTheGenericEnumerator) {
+  // Per-resource counts above 255 exceed the packed 8-bit lanes.
+  DagTask t(0, 100'000, 100'000, 1);
+  t.add_vertex(1000, {300});
+  t.add_vertex(500, {1});
+  t.add_vertex(400, {0});
+  t.add_vertex(100, {0});
+  t.graph().add_edge(0, 1);
+  t.graph().add_edge(0, 2);
+  t.graph().add_edge(1, 3);
+  t.graph().add_edge(2, 3);
+  t.set_cs_length(0, 1);
+  t.finalize();
+
+  const auto r = enumerate_path_signatures(t);
+  EXPECT_EQ(r.paths_visited, 2);
+  ASSERT_EQ(r.signatures.size(), 2u);
+  for (const auto& sig : r.signatures) {
+    if (sig.requests[0] == 301)
+      EXPECT_EQ(sig.length, 1600);
+    else
+      EXPECT_EQ(sig.length, 1500);
+  }
+}
+
 TEST(Paths, MultiHeadMultiTail) {
   DagTask t(0, 1000, 1000, 0);
   t.add_vertex(2);

@@ -218,7 +218,7 @@ TEST(Partitioner, AcceptsWhenOracleAlwaysPasses) {
   ts.assign_rm_priorities();
   ts.finalize();
   int calls = 0;
-  WcrtOracle oracle = [&](const TaskSet&, const Partition&, int,
+  WcrtFn oracle = [&](const TaskSet&, const Partition&, int,
                           const std::vector<Time>&) -> std::optional<Time> {
     ++calls;
     return 1;
@@ -237,7 +237,7 @@ TEST(Partitioner, GrantsSpareProcessorOnFailure) {
   ts.assign_rm_priorities();
   ts.finalize();
   // Oracle fails until the cluster has 4 processors.
-  WcrtOracle oracle = [&](const TaskSet& t, const Partition& p, int i,
+  WcrtFn oracle = [&](const TaskSet& t, const Partition& p, int i,
                           const std::vector<Time>&) -> std::optional<Time> {
     return p.cluster_size(i) >= 4 ? std::optional<Time>(t.task(i).deadline())
                                   : std::nullopt;
@@ -254,7 +254,7 @@ TEST(Partitioner, FailsWhenNoSpareLeft) {
   add_heavy_task(ts, 20, 30, 10);  // needs 2 of 3; one spare
   ts.assign_rm_priorities();
   ts.finalize();
-  WcrtOracle oracle = [](const TaskSet&, const Partition&, int,
+  WcrtFn oracle = [](const TaskSet&, const Partition&, int,
                          const std::vector<Time>&) -> std::optional<Time> {
     return std::nullopt;
   };
@@ -271,7 +271,7 @@ TEST(Partitioner, AnalyzesInDecreasingPriorityWithHints) {
   ts.assign_rm_priorities();
   ts.finalize();
   std::vector<int> order;
-  WcrtOracle oracle = [&](const TaskSet& t, const Partition&, int i,
+  WcrtFn oracle = [&](const TaskSet& t, const Partition&, int i,
                           const std::vector<Time>& hint) -> std::optional<Time> {
     order.push_back(i);
     if (i == 0) {
@@ -305,7 +305,7 @@ TEST(Partitioner, RollsBackResourcePlacementEachRound) {
   ts.assign_rm_priorities();
   ts.finalize();
   std::vector<ProcessorId> placements;
-  WcrtOracle oracle = [&](const TaskSet&, const Partition& p, int i,
+  WcrtFn oracle = [&](const TaskSet&, const Partition& p, int i,
                           const std::vector<Time>&) -> std::optional<Time> {
     placements.push_back(p.processor_of_resource(0));
     EXPECT_NE(p.processor_of_resource(0), Partition::kUnassigned);

@@ -211,7 +211,9 @@ TEST(Sanity, AcceptanceMonotoneInProcessorCountForFedFp) {
     bool prev = false;
     for (int m = 8; m <= 32; m += 8) {
       const bool now = fed->test(*ts, m).schedulable;
-      if (prev) EXPECT_TRUE(now) << "seed " << seed << " m " << m;
+      if (prev) {
+        EXPECT_TRUE(now) << "seed " << seed << " m " << m;
+      }
       prev = now;
     }
   }

@@ -1,0 +1,199 @@
+// Tests for the two-phase analysis pipeline: AnalysisSession caching,
+// PreparedAnalysis fingerprint/invalidation machinery, equivalence of the
+// prepared path with the historical stateless oracle, and the cross-round
+// re-analysis skipping of partition_and_analyze().
+#include <gtest/gtest.h>
+
+#include "analysis/interface.hpp"
+#include "analysis/prepared.hpp"
+#include "analysis/session.hpp"
+#include "gen/taskset_gen.hpp"
+#include "partition/partitioner.hpp"
+
+namespace dpcp {
+namespace {
+
+// ---------- session caches -------------------------------------------------
+
+TEST(Session, PathEnumerationRunsOncePerTask) {
+  TaskSet ts(1);
+  DagTask& t = ts.add_task(1000, 1000);
+  t.add_vertex(5, {1});
+  t.add_vertex(5, {0});
+  t.add_vertex(5, {0});
+  t.add_vertex(5, {0});
+  t.graph().add_edge(0, 1);
+  t.graph().add_edge(0, 2);
+  t.graph().add_edge(1, 3);
+  t.graph().add_edge(2, 3);
+  t.set_cs_length(0, 1);
+  ts.assign_rm_priorities();
+  ts.finalize();
+
+  AnalysisSession session(ts);
+  const PathEnumResult& first = session.paths(0, 1000);
+  const PathEnumResult& again = session.paths(0, 1000);
+  EXPECT_EQ(&first, &again);  // cached object, not a recomputation
+  EXPECT_EQ(session.path_enumerations(), 1);
+
+  // A different budget re-enumerates (exact behavior preservation).
+  session.paths(0, 2000);
+  EXPECT_EQ(session.path_enumerations(), 2);
+}
+
+TEST(Session, PriorityOrderMatchesPartitioner) {
+  Rng rng(7);
+  GenParams params;
+  params.scenario.m = 16;
+  params.total_utilization = 4.0;
+  const auto ts = generate_taskset(rng, params);
+  ASSERT_TRUE(ts.has_value());
+  AnalysisSession session(*ts);
+  EXPECT_EQ(session.priority_order(), analysis_priority_order(*ts));
+}
+
+// ---------- prepared == stateless ------------------------------------------
+
+// The prepared pipeline (session caches + per-partition tables + cross-
+// round skipping) must reproduce the stateless per-call oracle exactly:
+// same schedulability, same per-task WCRTs, same rounds, same partition.
+class PreparedEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PreparedEquivalenceTest, OutcomeIdenticalToStatelessOracle) {
+  Rng rng(1300 + GetParam());
+  GenParams params;
+  params.scenario = fig2_scenario(GetParam() % 2 ? 'a' : 'c');
+  params.total_utilization = 0.45 * params.scenario.m;
+  const auto ts = generate_taskset(rng, params);
+  ASSERT_TRUE(ts.has_value());
+
+  for (AnalysisKind kind : all_analysis_kinds()) {
+    const auto analysis = make_analysis(kind);
+
+    AnalysisSession session(*ts);
+    const PartitionOutcome via_prepared =
+        analysis->test(session, params.scenario.m);
+
+    // Pre-refactor semantics: a fresh stateless wcrt() per call, no
+    // caches, no skipping.
+    WcrtFn stateless = [&](const TaskSet& t, const Partition& p, int i,
+                           const std::vector<Time>& hint) {
+      return analysis->wcrt(t, p, i, hint);
+    };
+    PartitionOptions options;
+    options.placement = analysis->placement();
+    const PartitionOutcome via_stateless =
+        partition_and_analyze(*ts, params.scenario.m, stateless, options);
+
+    EXPECT_EQ(via_prepared.schedulable, via_stateless.schedulable)
+        << analysis->name();
+    EXPECT_EQ(via_prepared.wcrt, via_stateless.wcrt) << analysis->name();
+    EXPECT_EQ(via_prepared.rounds, via_stateless.rounds) << analysis->name();
+    EXPECT_EQ(via_prepared.partition.to_string(),
+              via_stateless.partition.to_string())
+        << analysis->name();
+    // Skipping may only ever reduce the number of oracle queries.
+    EXPECT_LE(via_prepared.oracle_calls, via_stateless.oracle_calls)
+        << analysis->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PreparedEquivalenceTest,
+                         ::testing::Range(0, 8));
+
+// ---------- cross-round skipping -------------------------------------------
+
+/// Scripted oracle over the PreparedAnalysis base: fingerprints only the
+/// task's own cluster, passes the high-priority task with a constant
+/// bound, and fails the low-priority task until its cluster reaches
+/// `needed` processors.  Lets the test observe exactly which tasks the
+/// partitioning loop re-queries across rounds.
+class ScriptedOracle final : public PreparedAnalysis {
+ public:
+  ScriptedOracle(AnalysisSession& session, int needed)
+      : PreparedAnalysis(session),
+        needed_(needed),
+        calls_(static_cast<std::size_t>(session.taskset().size()), 0) {}
+
+  std::optional<Time> wcrt(int task, const std::vector<Time>&) override {
+    ++calls_[static_cast<std::size_t>(task)];
+    if (task == 0)  // the low-priority task in the fixture below
+      return partition().cluster_size(task) >= needed_
+                 ? std::optional<Time>(1)
+                 : std::nullopt;
+    return 1;
+  }
+
+  int calls(int task) const {
+    return calls_[static_cast<std::size_t>(task)];
+  }
+
+ protected:
+  void partition_inputs(const Partition& part, int task,
+                        std::vector<Time>* out) const override {
+    append_cluster(part, task, out);
+  }
+
+ private:
+  int needed_;
+  std::vector<int> calls_;
+};
+
+TEST(Partitioner, SkipsTasksWithUnchangedInputsAcrossRounds) {
+  TaskSet ts(0);
+  // Two heavy tasks; task 1 has the shorter period -> higher priority.
+  DagTask& a = ts.add_task(30, 30);
+  a.add_vertex(10);
+  a.add_vertex(10);
+  DagTask& b = ts.add_task(15, 15);
+  b.add_vertex(4);
+  b.add_vertex(4);
+  ts.assign_rm_priorities();
+  ts.finalize();
+
+  AnalysisSession session(ts);
+  ScriptedOracle oracle(session, /*needed=*/3);
+  PartitionOptions options;
+  options.placement = ResourcePlacement::kNone;
+  const PartitionOutcome out = partition_and_analyze(ts, 8, oracle, options);
+
+  ASSERT_TRUE(out.schedulable);
+  EXPECT_EQ(out.rounds, 3);  // low task grows 1 -> 2 -> 3 processors
+  // The low-priority task's cluster changed every round: re-queried 3x.
+  EXPECT_EQ(oracle.calls(0), 3);
+  // The high-priority task's cluster never changed and its bound matched
+  // the previous round, so rounds 2 and 3 skipped it.
+  EXPECT_EQ(oracle.calls(1), 1);
+  EXPECT_EQ(out.oracle_calls, 4);
+}
+
+TEST(Partitioner, FunctionOracleNeverSkips) {
+  // The WcrtFn adapter preserves the historical call pattern exactly.
+  TaskSet ts(0);
+  DagTask& a = ts.add_task(30, 30);
+  a.add_vertex(10);
+  a.add_vertex(10);
+  DagTask& b = ts.add_task(15, 15);
+  b.add_vertex(4);
+  b.add_vertex(4);
+  ts.assign_rm_priorities();
+  ts.finalize();
+
+  int calls = 0;
+  WcrtFn fn = [&](const TaskSet&, const Partition& p, int i,
+                  const std::vector<Time>&) -> std::optional<Time> {
+    ++calls;
+    if (i == 0)
+      return p.cluster_size(i) >= 3 ? std::optional<Time>(1) : std::nullopt;
+    return 1;
+  };
+  const PartitionOutcome out =
+      partition_and_analyze(ts, 8, fn, {ResourcePlacement::kNone});
+  ASSERT_TRUE(out.schedulable);
+  EXPECT_EQ(out.rounds, 3);
+  EXPECT_EQ(calls, 6);  // 2 tasks x 3 rounds, no skipping
+  EXPECT_EQ(out.oracle_calls, 6);
+}
+
+}  // namespace
+}  // namespace dpcp
