@@ -1,0 +1,101 @@
+// Cost and yield of simulation-in-the-loop validation: times the same
+// sweep (a) analysis-only, (b) with the sim observation column, and
+// (c) with full --validate cross-checking, at several horizons -- so the
+// overhead of closing the analysis<->execution loop is tracked per commit
+// and the horizon knob's cost curve is visible before someone runs a
+// grid-sized validation sweep.
+//
+// Also prints the per-analysis pessimism gaps the cross-check measures
+// (observed/bound WCRT percentiles): the empirical headroom each
+// analytical bound leaves at runtime.
+//
+// Usage: bench_validate [scenario_count]
+//        (env: DPCP_SAMPLES default 20, DPCP_SEED, DPCP_THREADS)
+#include <chrono>
+#include <cstdio>
+
+#include "core/dpcp.hpp"
+#include "util/parse.hpp"
+
+using namespace dpcp;
+
+namespace {
+
+double run_timed(const std::vector<Scenario>& scenarios,
+                 const std::vector<AnalysisKind>& kinds,
+                 const SweepOptions& options, SweepResult* out) {
+  const auto start = std::chrono::steady_clock::now();
+  *out = run_sweep(scenarios, kinds, options);
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int scenario_count = 4;
+  if (argc > 1) {
+    const auto v = parse_int(argv[1], 1, 216);
+    if (!v) {
+      std::fprintf(stderr, "bench_validate: scenario_count must be 1..216, "
+                           "got '%s'\n", argv[1]);
+      return 2;
+    }
+    scenario_count = static_cast<int>(*v);
+  }
+  SweepOptions options = sweep_options_from_env(/*default_samples=*/20);
+
+  std::vector<Scenario> scenarios = all_scenarios();
+  scenarios.resize(static_cast<std::size_t>(scenario_count));
+  const std::vector<AnalysisKind> kinds = all_analysis_kinds();
+
+  std::printf(
+      "=== Simulation-in-the-loop validation: cost over first %d "
+      "scenario(s), %d samples/point ===\n",
+      scenario_count, options.samples_per_point);
+
+  SweepResult baseline;
+  const double t_analysis = run_timed(scenarios, kinds, options, &baseline);
+
+  Table cost({"mode", "horizon [ms]", "wall [s]", "overhead vs analysis",
+              "accepts checked", "unsound"});
+  cost.add_row({"analysis-only", "-", strfmt("%.2f", t_analysis), "1.00x",
+                "-", "-"});
+  SweepResult validated;  // of the largest horizon: reused for gap report
+  for (const long long horizon_ms : {25LL, 100LL, 400LL}) {
+    SweepOptions sim_opts = options;
+    sim_opts.sim.enabled = true;
+    sim_opts.sim.horizon = millis(horizon_ms);
+    SweepResult r;
+    const double t_sim = run_timed(scenarios, kinds, sim_opts, &r);
+    cost.add_row({"+sim column", strfmt("%lld", horizon_ms),
+                  strfmt("%.2f", t_sim),
+                  strfmt("%.2fx", t_sim / t_analysis), "-", "-"});
+
+    sim_opts.sim.validate = true;
+    const double t_val = run_timed(scenarios, kinds, sim_opts, &validated);
+    std::int64_t checked = 0, unsound = 0;
+    for (const AnalysisValidation& v : validated.validation.analyses) {
+      checked += v.accepts_checked;
+      unsound += v.unsound_accepts;
+    }
+    cost.add_row({"+validate", strfmt("%lld", horizon_ms),
+                  strfmt("%.2f", t_val),
+                  strfmt("%.2fx", t_val / t_analysis),
+                  strfmt("%lld", static_cast<long long>(checked)),
+                  strfmt("%lld", static_cast<long long>(unsound))});
+  }
+  std::fputs(cost.to_text().c_str(), stdout);
+
+  std::printf(
+      "\nPessimism gaps at horizon 400 ms (observed/bound WCRT "
+      "percentiles; <= 1 everywhere or the analysis is unsound):\n");
+  std::fputs(validated.validation.to_text().c_str(), stdout);
+
+  if (!validated.validation.sound()) {
+    std::printf("\nUNSOUND accepts found -- this is a soundness bug.\n");
+    return 1;
+  }
+  return 0;
+}

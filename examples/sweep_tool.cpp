@@ -8,7 +8,13 @@
 //                                                      # Tables 2 and 3
 //   sweep_tool --scenarios a --light 2 --utils 0.2,0.3,0.4,0.5,0.6
 //                                                      # Sec. VI extension
+//   sweep_tool --scenarios first:4 --sim --validate    # simulation-backed
+//                                                      # soundness sweep
 //   sweep_tool --scenarios all --csv out.csv --json out.json
+//
+// With --validate, every analysis accept is re-executed on the
+// discrete-event simulator; the tool exits 1 if any accept is refuted
+// (an unsound analysis or simulator bug — never ignorable).
 //
 // Environment defaults: DPCP_SAMPLES, DPCP_SEED, DPCP_THREADS (overridden
 // by the corresponding flags).
@@ -19,6 +25,7 @@
 #include <vector>
 
 #include "core/dpcp.hpp"
+#include "util/parse.hpp"
 
 using namespace dpcp;
 
@@ -42,6 +49,15 @@ int usage(const char* argv0) {
       "  --max-paths N     EP path-enumeration DFS budget (default: 100000)\n"
       "  --max-signatures N  EP signature budget before the envelope\n"
       "                    fallback kicks in (default: 20000)\n"
+      "  --sim             run the discrete-event simulator on every task\n"
+      "                    set; appends a 'sim' observation column\n"
+      "  --validate        cross-check every analysis accept against the\n"
+      "                    simulator (implies --sim); exit 1 on refutation\n"
+      "  --horizon-ms N    simulated release span per task set\n"
+      "                    (default: 100)\n"
+      "  --sim-mode M      worst | random: worst-case periodic releases or\n"
+      "                    jittered arrivals with scaled executions\n"
+      "                    (default: worst)\n"
       "  --csv PATH        write long-format CSV\n"
       "  --json PATH       write JSON\n"
       "  --curves          print per-scenario acceptance tables\n"
@@ -78,13 +94,12 @@ bool parse_analyses(const std::string& list, std::vector<AnalysisKind>* out) {
 
 bool parse_doubles(const std::string& list, std::vector<double>* out) {
   for (const std::string& token : split(list, ',')) {
-    char* rest = nullptr;
-    const double v = std::strtod(token.c_str(), &rest);
-    if (!rest || *rest || v <= 0.0) {
+    const auto v = parse_double(token);
+    if (!v || *v <= 0.0) {
       std::fprintf(stderr, "bad utilization '%s'\n", token.c_str());
       return false;
     }
-    out->push_back(v);
+    out->push_back(*v);
   }
   return !out->empty();
 }
@@ -107,15 +122,37 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
+    // Numeric flags parse strictly: "--samples abc" (historically a silent
+    // 1-sample sweep via atoi) and out-of-range values are hard errors.
+    auto int_value = [&](long long lo, long long hi) -> long long {
+      const char* raw = value();
+      const auto v = parse_int(raw, lo, hi);
+      if (!v) {
+        std::fprintf(stderr,
+                     "%s: invalid integer '%s' (expected %lld..%lld)\n",
+                     arg.c_str(), raw, lo, hi);
+        std::exit(usage(argv[0]));
+      }
+      return *v;
+    };
     if (arg == "--scenarios") scenario_spec = value();
     else if (arg == "--analyses") analysis_list = value();
-    else if (arg == "--samples") options.samples_per_point = std::max(1, std::atoi(value()));
-    else if (arg == "--seed") options.seed = static_cast<std::uint64_t>(std::atoll(value()));
-    else if (arg == "--threads") options.threads = std::max(0, std::atoi(value()));
-    else if (arg == "--light") options.light_tasks = std::max(0, std::atoi(value()));
+    else if (arg == "--samples") options.samples_per_point = static_cast<int>(int_value(1, 1 << 20));
+    else if (arg == "--seed") options.seed = static_cast<std::uint64_t>(int_value(0, INT64_MAX));
+    else if (arg == "--threads") options.threads = static_cast<int>(int_value(0, 1 << 16));
+    else if (arg == "--light") options.light_tasks = static_cast<int>(int_value(0, 1 << 20));
     else if (arg == "--utils") { options.norm_utilizations.clear(); if (!parse_doubles(value(), &options.norm_utilizations)) return usage(argv[0]); }
-    else if (arg == "--max-paths") options.analysis.max_paths = std::max(1LL, static_cast<long long>(std::atoll(value())));
-    else if (arg == "--max-signatures") options.analysis.max_signatures = std::max(1LL, static_cast<long long>(std::atoll(value())));
+    else if (arg == "--max-paths") options.analysis.max_paths = int_value(1, INT64_MAX);
+    else if (arg == "--max-signatures") options.analysis.max_signatures = int_value(1, INT64_MAX);
+    else if (arg == "--sim") options.sim.enabled = true;
+    else if (arg == "--validate") options.sim.validate = true;
+    else if (arg == "--horizon-ms") options.sim.horizon = millis(int_value(1, 10'000'000));
+    else if (arg == "--sim-mode") {
+      const std::string mode = value();
+      if (mode == "worst") options.sim.mode = SimSweepMode::kWorst;
+      else if (mode == "random") options.sim.mode = SimSweepMode::kRandom;
+      else { std::fprintf(stderr, "--sim-mode: expected worst|random, got '%s'\n", mode.c_str()); return usage(argv[0]); }
+    }
     else if (arg == "--csv") csv_path = value();
     else if (arg == "--json") json_path = value();
     else if (arg == "--curves") want_curves = true;
@@ -138,6 +175,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "sweep: %zu scenario(s), %zu analyses, %d samples/point, seed %llu\n",
                  scenarios->size(), kinds.size(), options.samples_per_point,
                  static_cast<unsigned long long>(options.seed));
+    if (options.sim.enabled || options.sim.validate)
+      std::fprintf(stderr, "sim backend: horizon %lld ms, %s mode%s\n",
+                   static_cast<long long>(options.sim.horizon / kMillisecond),
+                   options.sim.mode == SimSweepMode::kWorst ? "worst-case"
+                                                            : "randomized",
+                   options.sim.validate ? ", cross-checking accepts" : "");
     options.progress = stderr_progress();
   }
 
@@ -162,6 +205,11 @@ int main(int argc, char** argv) {
   std::printf("Summary over %zu scenario(s):\n", scenarios->size());
   std::fputs(summarize(result).to_text().c_str(), stdout);
 
+  if (result.validated) {
+    std::printf("\nValidation (analysis accepts vs. simulated execution):\n");
+    std::fputs(result.validation.to_text().c_str(), stdout);
+  }
+
   if (!csv_path.empty()) {
     if (!write_sweep_csv(csv_path, result, &error)) {
       std::fprintf(stderr, "csv: %s\n", error.c_str());
@@ -175,6 +223,20 @@ int main(int argc, char** argv) {
       return 1;
     }
     if (!quiet) std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+  }
+
+  if (result.validated && !result.validation.sound()) {
+    for (const UnsoundAccept& u : result.validation.failures)
+      std::fprintf(
+          stderr,
+          "UNSOUND: %s accepted scenario %zu point %zu sample %zu but the "
+          "simulator observed %lld deadline miss(es)%s (worst task %d: "
+          "observed %s vs bound %s)\n",
+          u.analysis.c_str(), u.scenario, u.point, u.sample,
+          static_cast<long long>(u.deadline_misses),
+          u.drained ? "" : " and an undrained backlog", u.worst_task,
+          format_time(u.observed).c_str(), format_time(u.bound).c_str());
+    return 1;
   }
   return 0;
 }

@@ -63,6 +63,19 @@ class SpinSonPrepared final : public PreparedAnalysis {
             static_cast<Time>(rs.max_requests) *
             SpinSonAnalysis::spin_delay(ts_, partition(), task, rs.q));
       st.preempt_demand = preemption_demand(ts_, partition(), task);
+      st.arrival_blocking = 0;
+      if (!st.preempt_demand.empty() ||
+          partition().task_shares_processor(task)) {
+        // Sec. VI shared processors: spinning and critical sections are
+        // non-preemptable on the runtime (else lock holders deadlock), so
+        // (i) a higher-priority co-located preemptor occupies the shared
+        // processor for its busy-wait time too -- inflate its preemption
+        // demand by its worst-case per-job spin; (ii) one already-started
+        // lower-priority spin+CS chunk can block tau_i at arrival.
+        for (auto& [j, wcet] : st.preempt_demand)
+          wcet += job_spin_bound(j);
+        st.arrival_blocking = max_lower_priority_chunk(task);
+      }
       st.dirty = false;
     }
 
@@ -79,7 +92,8 @@ class SpinSonPrepared final : public PreparedAnalysis {
                            demand;
         spin += std::min(st.fifo_bound[k], window_demand);
       }
-      return base + spin + preemption(st.preempt_demand, ts_, hint, r);
+      return base + st.arrival_blocking + spin +
+             preemption(st.preempt_demand, ts_, hint, r);
     };
     return solve_fixed_point(f, base, ti.deadline()).value;
   }
@@ -94,6 +108,14 @@ class SpinSonPrepared final : public PreparedAnalysis {
     const TaskStatics& ps = statics_[static_cast<std::size_t>(task)];
     out->push_back(static_cast<Time>(ps.contender_tasks.size()));
     for (int j : ps.contender_tasks) out->push_back(part.cluster_size(j));
+    // On shared processors the blocking/preemption terms evaluate
+    // spin_delay() of co-located tasks, which reads the cluster size of
+    // *their* contenders -- conservatively fingerprint every cluster size.
+    if (part.task_shares_processor(task)) {
+      out->push_back(static_cast<Time>(ts_.size()));
+      for (int j = 0; j < ts_.size(); ++j)
+        out->push_back(part.cluster_size(j));
+    }
   }
 
   void invalidate(int task) override {
@@ -120,11 +142,45 @@ class SpinSonPrepared final : public PreparedAnalysis {
     bool dirty = true;
     int mi = 1;
     std::vector<Time> fifo_bound;  // N_{i,q} * spin_delay, per resource
+    /// Co-located higher-priority (task, C_j + per-job spin) pairs.
     std::vector<std::pair<int, Time>> preempt_demand;
+    /// One non-preemptable lower-priority spin+CS chunk (Sec. VI).
+    Time arrival_blocking = 0;
   };
 
   const TaskStatics& prepared_statics(int task) const {
     return statics_[static_cast<std::size_t>(task)];
+  }
+
+  /// Worst-case processor time task j busy-waits per job: one FIFO spin
+  /// bound per request, summed over its resources.
+  Time job_spin_bound(int j) const {
+    Time total = 0;
+    for (ResourceId q : ts_.task(j).used_resources())
+      total += static_cast<Time>(ts_.task(j).usage(q).max_requests) *
+               SpinSonAnalysis::spin_delay(ts_, partition(), j, q);
+    return total;
+  }
+
+  /// Largest single non-preemptable chunk (spin delay + critical section
+  /// of one request) of a lower-priority task co-located with tau_i.  At
+  /// most one such chunk can be in flight when a job of tau_i arrives,
+  /// and none can start while tau_i has ready work.
+  Time max_lower_priority_chunk(int task) const {
+    Time worst = 0;
+    std::vector<char> seen(static_cast<std::size_t>(ts_.size()), 0);
+    for (ProcessorId p : partition().cluster(task)) {
+      for (int j : partition().tasks_on_processor(p)) {
+        if (j == task || seen[static_cast<std::size_t>(j)]) continue;
+        seen[static_cast<std::size_t>(j)] = 1;
+        if (ts_.task(j).priority() >= ts_.task(task).priority()) continue;
+        for (ResourceId q : ts_.task(j).used_resources())
+          worst = std::max(
+              worst, SpinSonAnalysis::spin_delay(ts_, partition(), j, q) +
+                         ts_.task(j).usage(q).cs_length);
+      }
+    }
+    return worst;
   }
 
   void build_statics(int task) {

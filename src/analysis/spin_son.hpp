@@ -14,6 +14,14 @@
 //  * on-path request counts follow the prior-work envelope (N^lambda
 //    maximised per term), as in [6].
 //
+// Sec. VI extension (light tasks on shared processors): spinning and
+// critical sections are non-preemptable on the runtime (MSRP-style;
+// preempting a lock holder would deadlock against a co-located spinner),
+// so the bound additionally charges (i) one arrival-blocking chunk -- the
+// largest spin+CS of a lower-priority co-located task -- and (ii) the
+// per-job spin time of higher-priority co-located preemptors on top of
+// their WCET, since their busy-wait occupies the shared processor too.
+//
 // This is an honest re-implementation, not the authors' exact formulas
 // (paper [6] is not available in this environment); see DESIGN.md §3.
 #pragma once

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -40,11 +41,21 @@ struct AcceptanceCurve {
   GenStats gen_stats;
 
   /// Acceptance ratio of `analysis` at utilization point `point`.
+  /// Well-defined (0.0) at samples[point] == 0 — a point every sample of
+  /// which failed generation must not poison aggregation with NaNs.
   double ratio(std::size_t analysis, std::size_t point) const {
     return samples[point] == 0
                ? 0.0
                : static_cast<double>(accepted[analysis][point]) /
                      static_cast<double>(samples[point]);
+  }
+  /// Index of the named column — an analysis display name, or the
+  /// engine's trailing simulation column (exp/validate.hpp's
+  /// kSimColumnName) on simulation-backed sweeps; nullopt when absent.
+  std::optional<std::size_t> column(const std::string& name) const {
+    for (std::size_t a = 0; a < names.size(); ++a)
+      if (names[a] == name) return a;
+    return std::nullopt;
   }
   /// Task sets accepted in total across the sweep (the outperformance
   /// metric of Table 3).

@@ -35,6 +35,7 @@
 #include "exp/engine.hpp"
 #include "exp/grid.hpp"
 #include "exp/report.hpp"
+#include "exp/validate.hpp"
 #include "gen/erdos_renyi.hpp"
 #include "gen/randfixedsum.hpp"
 #include "gen/scenario.hpp"

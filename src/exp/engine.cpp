@@ -7,12 +7,27 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <tuple>
 
 #include "gen/taskset_gen.hpp"
+#include "partition/federated.hpp"
+#include "sim/simulator.hpp"
+#include "util/parse.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
 namespace dpcp {
+
+namespace {
+
+// Salts of the simulation RNG sub-streams, forked off each item's
+// (scenario, point, sample) generation stream: the sim-column run and the
+// per-analysis cross-check runs each draw from their own stream, so
+// enabling one never perturbs another (or generation itself).
+constexpr std::uint64_t kSimColumnSalt = 0x53494D00ull;    // "SIM"
+constexpr std::uint64_t kValidateSalt = 0x56414C00ull;     // "VAL"
+
+}  // namespace
 
 std::uint64_t scenario_seed(std::uint64_t base_seed, std::size_t index) {
   return base_seed + static_cast<std::uint64_t>(index) * 1000003ull;
@@ -28,8 +43,30 @@ SweepResult run_sweep(const std::vector<Scenario>& scenarios,
   const std::size_t samples = static_cast<std::size_t>(
       std::min(std::max(1, options.samples_per_point), 1 << 20));
 
+  // Cross-checking is built on the sim runs, so validate implies enabled.
+  SimBackendOptions sim_opts = options.sim;
+  sim_opts.enabled = sim_opts.enabled || sim_opts.validate;
+  const bool sim_on = sim_opts.enabled;
+  const bool validate = sim_opts.validate;
+  // Analytical columns first, then the trailing "sim" observation column.
+  const std::size_t n_cols = n_kind + (sim_on ? 1 : 0);
+
   SweepResult result;
   result.curves.resize(n_scen);
+  result.sim_enabled = sim_on;
+  result.validated = validate;
+
+  // Which simulator protocol (if any) faithfully executes each analysis.
+  std::vector<std::optional<SimProtocol>> protocols(n_kind);
+  if (validate) {
+    for (std::size_t a = 0; a < n_kind; ++a)
+      protocols[a] = sim_protocol_for(kinds[a]);
+    result.validation.analyses.resize(n_kind);
+    for (std::size_t a = 0; a < n_kind; ++a) {
+      result.validation.analyses[a].name = analysis_kind_name(kinds[a]);
+      result.validation.analyses[a].comparable = protocols[a].has_value();
+    }
+  }
 
   // Per-scenario curve skeletons and item-index offsets.  Scenarios may
   // have different utilization grids (the paper grid depends on m), so the
@@ -45,12 +82,25 @@ SweepResult run_sweep(const std::vector<Scenario>& scenarios,
         curve.utilization.push_back(nu * scenarios[s].m);
     }
     for (AnalysisKind k : kinds) curve.names.push_back(analysis_kind_name(k));
+    if (sim_on) curve.names.push_back(kSimColumnName);
     const std::size_t points = curve.utilization.size();
-    curve.accepted.assign(n_kind, std::vector<std::int64_t>(points, 0));
+    curve.accepted.assign(n_cols, std::vector<std::int64_t>(points, 0));
     curve.samples.assign(points, 0);
     offset[s + 1] = offset[s] + points * samples;
   }
   const std::size_t total_items = offset[n_scen];
+  if (sim_on) {
+    result.sim_stats.resize(n_scen);
+    for (std::size_t s = 0; s < n_scen; ++s)
+      result.sim_stats[s].resize(result.curves[s].utilization.size());
+  }
+  if (validate) {
+    result.validation_points.resize(n_scen);
+    for (std::size_t s = 0; s < n_scen; ++s)
+      result.validation_points[s].assign(
+          n_kind, std::vector<ValidationPointStats>(
+                      result.curves[s].utilization.size()));
+  }
 
   const int threads =
       options.threads > 0
@@ -78,11 +128,20 @@ SweepResult run_sweep(const std::vector<Scenario>& scenarios,
 
     std::vector<std::vector<std::vector<std::int64_t>>> local_accepted(n_scen);
     std::vector<std::vector<std::int64_t>> local_samples(n_scen);
+    std::vector<std::vector<SimPointStats>> local_sim(sim_on ? n_scen : 0);
+    std::vector<std::vector<std::vector<ValidationPointStats>>> local_val(
+        validate ? n_scen : 0);
     for (std::size_t s = 0; s < n_scen; ++s) {
       const std::size_t points = result.curves[s].utilization.size();
-      local_accepted[s].assign(n_kind, std::vector<std::int64_t>(points, 0));
+      local_accepted[s].assign(n_cols, std::vector<std::int64_t>(points, 0));
       local_samples[s].assign(points, 0);
+      if (sim_on) local_sim[s].resize(points);
+      if (validate)
+        local_val[s].assign(n_kind,
+                            std::vector<ValidationPointStats>(points));
     }
+    std::vector<AnalysisValidation> local_av(validate ? n_kind : 0);
+    std::vector<UnsoundAccept> local_failures;
     GenStats local_gen;
 
     for (;;) {
@@ -112,9 +171,71 @@ SweepResult run_sweep(const std::vector<Scenario>& scenarios,
         // analysis kind: partition-independent work (path signatures,
         // priority order) is computed once for the paired comparison.
         AnalysisSession session(*ts);
-        for (std::size_t a = 0; a < analyses.size(); ++a)
-          if (analyses[a]->test(session, scenarios[s].m).schedulable)
-            ++local_accepted[s][a][point];
+        for (std::size_t a = 0; a < analyses.size(); ++a) {
+          if (!validate) {
+            if (analyses[a]->test(session, scenarios[s].m).schedulable)
+              ++local_accepted[s][a][point];
+            continue;
+          }
+          const PartitionOutcome outcome =
+              analyses[a]->test(session, scenarios[s].m);
+          if (!outcome.schedulable) continue;
+          ++local_accepted[s][a][point];
+          if (!protocols[a]) continue;
+          // Cross-check: execute this accept on its own partition under
+          // the protocol the analysis models.  Fork order is fixed, so
+          // the checked behaviour is a pure function of the coordinates.
+          Rng check_rng = rng.fork(kValidateSalt + a);
+          const SimConfig cfg = sample_sim_config(sim_opts, *ts, check_rng);
+          const CrossCheckResult cc =
+              cross_check_accept(*ts, outcome, *protocols[a], cfg);
+          AnalysisValidation& av = local_av[a];
+          ValidationPointStats& vp = local_val[s][a][point];
+          ++av.accepts_checked;
+          ++vp.checked;
+          av.invariant_violations += cc.verdict.invariant_violations;
+          for (const auto& [observed, bound] : cc.ratios) {
+            av.gap.add(observed, bound);
+            vp.add_ratio(observed, bound);
+          }
+          if (cc.unsound) {
+            ++av.unsound_accepts;
+            ++vp.unsound;
+            UnsoundAccept f;
+            f.scenario = s;
+            f.point = point;
+            f.sample = sample;
+            f.analysis = result.validation.analyses[a].name;
+            f.deadline_misses = cc.verdict.deadline_misses;
+            f.drained = cc.verdict.drained;
+            f.worst_task = cc.worst_task;
+            f.observed = cc.worst_observed;
+            f.bound = cc.worst_bound;
+            local_failures.push_back(std::move(f));
+          }
+        }
+        if (sim_on) {
+          // The trailing "sim" column: observed schedulability on the
+          // analysis-independent baseline partition under DPCP-p.
+          SimPointStats& sp = local_sim[s][point];
+          const auto part = baseline_partition(*ts, scenarios[s].m);
+          if (!part) {
+            ++sp.unpartitionable;
+          } else {
+            Rng sim_rng = rng.fork(kSimColumnSalt);
+            SimConfig cfg = sample_sim_config(sim_opts, *ts, sim_rng);
+            cfg.protocol = SimProtocol::kDpcpP;
+            const SimResult res = simulate(*ts, *part, cfg);
+            const SimVerdict v = classify_sim(res);
+            ++sp.simulated;
+            sp.deadline_misses += v.deadline_misses;
+            if (!v.drained) ++sp.unfinished;
+            sp.invariant_violations += v.invariant_violations;
+            for (const auto& t : res.task)
+              sp.max_response = std::max(sp.max_response, t.max_response);
+            if (v.schedulable) ++local_accepted[s][n_kind][point];
+          }
+        }
       }
       if (remaining[s].fetch_sub(1) == 1 && options.progress) {
         // Count and report under one lock so `done` values reach the
@@ -128,11 +249,25 @@ SweepResult run_sweep(const std::vector<Scenario>& scenarios,
     for (std::size_t s = 0; s < n_scen; ++s) {
       AcceptanceCurve& curve = result.curves[s];
       const std::size_t points = curve.utilization.size();
-      for (std::size_t a = 0; a < n_kind; ++a)
+      for (std::size_t a = 0; a < n_cols; ++a)
         for (std::size_t p = 0; p < points; ++p)
           curve.accepted[a][p] += local_accepted[s][a][p];
       for (std::size_t p = 0; p < points; ++p)
         curve.samples[p] += local_samples[s][p];
+      if (sim_on)
+        for (std::size_t p = 0; p < points; ++p)
+          result.sim_stats[s][p].merge(local_sim[s][p]);
+      if (validate)
+        for (std::size_t a = 0; a < n_kind; ++a)
+          for (std::size_t p = 0; p < points; ++p)
+            result.validation_points[s][a][p].merge(local_val[s][a][p]);
+    }
+    if (validate) {
+      for (std::size_t a = 0; a < n_kind; ++a)
+        result.validation.analyses[a].merge(local_av[a]);
+      result.validation.failures.insert(result.validation.failures.end(),
+                                        local_failures.begin(),
+                                        local_failures.end());
     }
     // Generator stats are sweep-global (per-scenario attribution would
     // require per-item stats plumbing for no analytical benefit).
@@ -143,6 +278,16 @@ SweepResult run_sweep(const std::vector<Scenario>& scenarios,
   pool.reserve(static_cast<std::size_t>(threads));
   for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
   for (auto& t : pool) t.join();
+
+  // Failures were appended in worker-merge order; sort them into the
+  // canonical (scenario, point, sample, analysis) order so the report is
+  // identical at any thread count.
+  std::sort(result.validation.failures.begin(),
+            result.validation.failures.end(),
+            [](const UnsoundAccept& a, const UnsoundAccept& b) {
+              return std::tie(a.scenario, a.point, a.sample, a.analysis) <
+                     std::tie(b.scenario, b.point, b.sample, b.analysis);
+            });
   return result;
 }
 
@@ -197,12 +342,27 @@ std::function<void(std::size_t, std::size_t)> stderr_progress(
 SweepOptions sweep_options_from_env(int default_samples) {
   SweepOptions options;
   options.samples_per_point = default_samples;
-  if (const char* s = std::getenv("DPCP_SAMPLES"))
-    options.samples_per_point = std::max(1, std::atoi(s));
-  if (const char* s = std::getenv("DPCP_SEED"))
-    options.seed = static_cast<std::uint64_t>(std::atoll(s));
-  if (const char* s = std::getenv("DPCP_THREADS"))
-    options.threads = std::max(0, std::atoi(s));
+  // A set-but-garbled knob is a fatal error, not a silent fallback: the
+  // historical atoi path turned "DPCP_SAMPLES=1O0" into a 1-sample sweep
+  // whose results looked plausible enough to trust.
+  const auto env_int = [](const char* name, long long lo,
+                          long long hi) -> std::optional<long long> {
+    const char* s = std::getenv(name);
+    if (!s || *s == '\0') return std::nullopt;
+    const auto v = parse_int(s, lo, hi);
+    if (!v) {
+      std::fprintf(stderr, "%s: invalid integer '%s' (expected %lld..%lld)\n",
+                   name, s, lo, hi);
+      std::exit(2);
+    }
+    return v;
+  };
+  if (const auto v = env_int("DPCP_SAMPLES", 1, 1 << 20))
+    options.samples_per_point = static_cast<int>(*v);
+  if (const auto v = env_int("DPCP_SEED", 0, INT64_MAX))
+    options.seed = static_cast<std::uint64_t>(*v);
+  if (const auto v = env_int("DPCP_THREADS", 0, 1 << 16))
+    options.threads = static_cast<int>(*v);
   return options;
 }
 

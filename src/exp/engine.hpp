@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/acceptance.hpp"
+#include "exp/validate.hpp"
 #include "gen/scenario.hpp"
 #include "util/stats.hpp"
 
@@ -45,6 +46,15 @@ struct SweepOptions {
   std::vector<double> norm_utilizations;
   /// Tuning knobs forwarded to make_analysis() (EP path/signature budgets).
   AnalysisOptions analysis;
+  /// Simulation backend: when sim.enabled (or sim.validate, which implies
+  /// it), every generated task set is also executed on the discrete-event
+  /// simulator and an extra "sim" observation column is appended after the
+  /// analytical columns; sim.validate additionally cross-checks every
+  /// analysis accept against a simulation of that analysis's partition.
+  /// Sim runs draw from forks of the same per-(scenario, point, sample)
+  /// RNG sub-streams as generation, so results stay bit-identical at any
+  /// thread count.
+  SimBackendOptions sim;
   /// Invoked whenever a scenario finishes, as (scenarios done, total).
   /// Called from worker threads, serialized by the engine.
   std::function<void(std::size_t, std::size_t)> progress;
@@ -56,6 +66,21 @@ struct SweepResult {
   /// Generator health counters merged over the whole sweep (generation is
   /// per task set, not per analysis, so these are sweep-level).
   GenStats gen_stats;
+  /// True when the simulation backend ran: every curve carries a trailing
+  /// kSimColumnName observation column (observed schedulability on the
+  /// baseline_partition()) and sim_stats below is filled.
+  bool sim_enabled = false;
+  /// Per (curve, utilization point) simulation observations, summed over
+  /// samples; empty unless sim_enabled.
+  std::vector<std::vector<SimPointStats>> sim_stats;
+  /// True when cross-check mode ran (SimBackendOptions::validate).
+  bool validated = false;
+  /// Sweep-level cross-check report; analyses in input-kind order.
+  ValidationReport validation;
+  /// Per (curve, analysis, utilization point) cross-check aggregates,
+  /// analysis index matching the input `kinds`; empty unless validated.
+  std::vector<std::vector<std::vector<ValidationPointStats>>>
+      validation_points;
 };
 
 /// Base seed of scenario `index` within a sweep rooted at `base_seed`.
@@ -90,7 +115,10 @@ struct SweepSummary {
 SweepSummary summarize(const SweepResult& result);
 
 /// Reads DPCP_SAMPLES / DPCP_SEED / DPCP_THREADS from the environment into
-/// a SweepOptions (the bench binaries' tuning knobs).
+/// a SweepOptions (the bench binaries' tuning knobs).  Values are strictly
+/// validated (util/parse.hpp); a variable that is set but not a number in
+/// range prints a diagnostic and exits with status 2 — a garbled knob must
+/// never silently run a differently-sized experiment.
 SweepOptions sweep_options_from_env(int default_samples);
 
 /// Standard CLI progress reporter: prints "  ... done/total scenarios

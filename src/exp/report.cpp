@@ -5,9 +5,6 @@
 
 namespace dpcp {
 
-namespace {
-
-// Scenario names are printf-generated ASCII, but quote defensively.
 std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
@@ -15,11 +12,14 @@ std::string json_escape(const std::string& s) {
     switch (c) {
       case '"': out += "\\\""; break;
       case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
+      case '\b': out += "\\b"; break;
       case '\t': out += "\\t"; break;
+      case '\n': out += "\\n"; break;
+      case '\f': out += "\\f"; break;
+      case '\r': out += "\\r"; break;
       default:
         if (static_cast<unsigned char>(c) < 0x20)
-          out += strfmt("\\u%04x", c);
+          out += strfmt("\\u%04x", static_cast<unsigned>(c));
         else
           out += c;
     }
@@ -27,17 +27,51 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
+namespace {
+
+// Appends one "%s123" style list of int64s.
+std::string int_array(const std::vector<std::int64_t>& v) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < v.size(); ++i)
+    out += strfmt("%s%lld", i ? ", " : "", static_cast<long long>(v[i]));
+  out += "]";
+  return out;
+}
+
+std::string double_array(const std::vector<double>& v) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < v.size(); ++i)
+    out += strfmt("%s%.6f", i ? ", " : "", v[i]);
+  out += "]";
+  return out;
+}
+
 }  // namespace
 
 std::string sweep_to_csv(const SweepResult& result) {
-  Table table({"scenario", "m", "nr_min", "nr_max", "u_avg", "p_r",
-               "n_req_max", "cs_min_us", "cs_max_us", "norm_util", "util",
-               "samples", "analysis", "accepted", "ratio"});
-  for (const AcceptanceCurve& curve : result.curves) {
+  std::vector<std::string> header = {
+      "scenario", "m",         "nr_min",    "nr_max",   "u_avg",
+      "p_r",      "n_req_max", "cs_min_us", "cs_max_us", "norm_util",
+      "util",     "samples",   "analysis",  "accepted", "ratio"};
+  if (result.sim_enabled)
+    header.insert(header.end(), {"sim_simulated", "sim_misses",
+                                 "sim_unfinished", "sim_max_resp_us"});
+  if (result.validated)
+    header.insert(header.end(),
+                  {"val_checked", "val_unsound", "val_gap_mean",
+                   "val_gap_max"});
+  Table table(std::move(header));
+
+  for (std::size_t s = 0; s < result.curves.size(); ++s) {
+    const AcceptanceCurve& curve = result.curves[s];
     const Scenario& sc = curve.scenario;
+    // With the sim backend on, the last column is the "sim" observation
+    // row; analytical columns precede it in input-kind order.
+    const std::size_t n_analyses =
+        result.sim_enabled ? curve.names.size() - 1 : curve.names.size();
     for (std::size_t p = 0; p < curve.utilization.size(); ++p)
-      for (std::size_t a = 0; a < curve.names.size(); ++a)
-        table.add_row(
+      for (std::size_t a = 0; a < curve.names.size(); ++a) {
+        std::vector<std::string> row =
             {sc.name(), strfmt("%d", sc.m), strfmt("%d", sc.nr_min),
              strfmt("%d", sc.nr_max), strfmt("%g", sc.u_avg),
              strfmt("%g", sc.p_r), strfmt("%d", sc.n_req_max),
@@ -48,7 +82,41 @@ std::string sweep_to_csv(const SweepResult& result) {
              strfmt("%lld", static_cast<long long>(curve.samples[p])),
              curve.names[a],
              strfmt("%lld", static_cast<long long>(curve.accepted[a][p])),
-             strfmt("%.6f", curve.ratio(a, p))});
+             strfmt("%.6f", curve.ratio(a, p))};
+        if (result.sim_enabled) {
+          if (a == n_analyses) {
+            const SimPointStats& sp = result.sim_stats[s][p];
+            row.push_back(strfmt("%lld",
+                                 static_cast<long long>(sp.simulated)));
+            row.push_back(strfmt(
+                "%lld", static_cast<long long>(sp.deadline_misses)));
+            row.push_back(strfmt("%lld",
+                                 static_cast<long long>(sp.unfinished)));
+            row.push_back(strfmt(
+                "%lld",
+                static_cast<long long>(sp.max_response / kMicrosecond)));
+          } else {
+            row.insert(row.end(), 4, "");
+          }
+        }
+        if (result.validated) {
+          const bool comparable =
+              a < result.validation.analyses.size() &&
+              result.validation.analyses[a].comparable;
+          if (comparable) {
+            const ValidationPointStats& vp = result.validation_points[s][a][p];
+            row.push_back(strfmt("%lld",
+                                 static_cast<long long>(vp.checked)));
+            row.push_back(strfmt("%lld",
+                                 static_cast<long long>(vp.unsound)));
+            row.push_back(strfmt("%.6f", vp.gap_mean()));
+            row.push_back(strfmt("%.6f", vp.gap_max()));
+          } else {
+            row.insert(row.end(), 4, "");
+          }
+        }
+        table.add_row(std::move(row));
+      }
   }
   return table.to_csv();
 }
@@ -65,6 +133,49 @@ std::string sweep_to_json(const SweepResult& result) {
       static_cast<long long>(gs.task_retries),
       static_cast<long long>(gs.usage_downscales),
       static_cast<long long>(gs.failures));
+
+  if (result.validated) {
+    const ValidationReport& vr = result.validation;
+    out += "\n  \"validation\": {\n    \"analyses\": [";
+    for (std::size_t a = 0; a < vr.analyses.size(); ++a) {
+      const AnalysisValidation& v = vr.analyses[a];
+      out += a ? ",\n      {" : "\n      {";
+      out += strfmt("\"name\": \"%s\", \"comparable\": %s",
+                    json_escape(v.name).c_str(),
+                    v.comparable ? "true" : "false");
+      if (v.comparable) {
+        out += strfmt(
+            ", \"accepts_checked\": %lld, \"unsound_accepts\": %lld, "
+            "\"invariant_violations\": %lld,\n       \"gap\": "
+            "{\"count\": %lld, \"mean\": %.6f, \"p50\": %.6f, "
+            "\"p90\": %.6f, \"p99\": %.6f, \"max\": %.6f}",
+            static_cast<long long>(v.accepts_checked),
+            static_cast<long long>(v.unsound_accepts),
+            static_cast<long long>(v.invariant_violations),
+            static_cast<long long>(v.gap.count()), v.gap.mean(),
+            v.gap.percentile(50), v.gap.percentile(90), v.gap.percentile(99),
+            v.gap.max());
+      }
+      out += "}";
+    }
+    out += "],\n    \"unsound\": [";
+    for (std::size_t f = 0; f < vr.failures.size(); ++f) {
+      const UnsoundAccept& u = vr.failures[f];
+      out += f ? ",\n      {" : "\n      {";
+      out += strfmt(
+          "\"scenario\": %zu, \"point\": %zu, \"sample\": %zu, "
+          "\"analysis\": \"%s\", \"deadline_misses\": %lld, "
+          "\"drained\": %s, \"worst_task\": %d, \"observed_us\": %lld, "
+          "\"bound_us\": %lld}",
+          u.scenario, u.point, u.sample, json_escape(u.analysis).c_str(),
+          static_cast<long long>(u.deadline_misses),
+          u.drained ? "true" : "false", u.worst_task,
+          static_cast<long long>(u.observed / kMicrosecond),
+          static_cast<long long>(u.bound / kMicrosecond));
+    }
+    out += vr.failures.empty() ? "]\n  }," : "\n    ]\n  },";
+  }
+
   out += "\n  \"scenarios\": [";
   for (std::size_t s = 0; s < result.curves.size(); ++s) {
     const AcceptanceCurve& curve = result.curves[s];
@@ -81,11 +192,27 @@ std::string sweep_to_json(const SweepResult& result) {
     out += "\n     \"utilization\": [";
     for (std::size_t p = 0; p < curve.utilization.size(); ++p)
       out += strfmt("%s%.4f", p ? ", " : "", curve.utilization[p]);
-    out += "], \"samples\": [";
-    for (std::size_t p = 0; p < curve.samples.size(); ++p)
-      out += strfmt("%s%lld", p ? ", " : "",
-                    static_cast<long long>(curve.samples[p]));
-    out += "],\n     \"analyses\": [";
+    out += "], \"samples\": " + int_array(curve.samples) + ",";
+    if (result.sim_enabled) {
+      const auto& pts = result.sim_stats[s];
+      std::vector<std::int64_t> simulated, unpart, misses, unfinished,
+          inv, max_resp;
+      for (const SimPointStats& sp : pts) {
+        simulated.push_back(sp.simulated);
+        unpart.push_back(sp.unpartitionable);
+        misses.push_back(sp.deadline_misses);
+        unfinished.push_back(sp.unfinished);
+        inv.push_back(sp.invariant_violations);
+        max_resp.push_back(sp.max_response / kMicrosecond);
+      }
+      out += "\n     \"sim\": {\"simulated\": " + int_array(simulated) +
+             ", \"unpartitionable\": " + int_array(unpart) +
+             ", \"deadline_misses\": " + int_array(misses) +
+             ", \"unfinished\": " + int_array(unfinished) +
+             ", \"invariant_violations\": " + int_array(inv) +
+             ", \"max_response_us\": " + int_array(max_resp) + "},";
+    }
+    out += "\n     \"analyses\": [";
     for (std::size_t a = 0; a < curve.names.size(); ++a) {
       out += a ? ",\n       {" : "\n       {";
       out += strfmt("\"name\": \"%s\", \"accepted\": [",
@@ -96,7 +223,24 @@ std::string sweep_to_json(const SweepResult& result) {
       out += "], \"ratio\": [";
       for (std::size_t p = 0; p < curve.accepted[a].size(); ++p)
         out += strfmt("%s%.6f", p ? ", " : "", curve.ratio(a, p));
-      out += "]}";
+      out += "]";
+      if (result.validated && a < result.validation.analyses.size() &&
+          result.validation.analyses[a].comparable) {
+        const auto& vps = result.validation_points[s][a];
+        std::vector<std::int64_t> checked, unsound;
+        std::vector<double> gap_mean, gap_max;
+        for (const ValidationPointStats& vp : vps) {
+          checked.push_back(vp.checked);
+          unsound.push_back(vp.unsound);
+          gap_mean.push_back(vp.gap_mean());
+          gap_max.push_back(vp.gap_max());
+        }
+        out += ",\n        \"validation\": {\"checked\": " +
+               int_array(checked) + ", \"unsound\": " + int_array(unsound) +
+               ", \"gap_mean\": " + double_array(gap_mean) +
+               ", \"gap_max\": " + double_array(gap_max) + "}";
+      }
+      out += "}";
     }
     out += "]}";
   }

@@ -14,9 +14,23 @@
 
 namespace dpcp {
 
+/// Escapes `s` for embedding inside a JSON string literal: quote,
+/// backslash, and every control character (U+0000..U+001F; named escapes
+/// for \b \t \n \f \r, \uXXXX for the rest).  Exposed for reuse and
+/// direct testing — an unescaped control character (a tab sneaking into a
+/// scenario name) silently invalidates the whole report.
+std::string json_escape(const std::string& s);
+
 /// Long-format CSV: header then one row per (scenario, point, analysis)
 /// with columns scenario,m,nr_min,nr_max,u_avg,p_r,n_req_max,cs_min_us,
 /// cs_max_us,norm_util,util,samples,analysis,accepted,ratio.
+///
+/// Sweeps with the simulation backend enabled append per-point sim
+/// observation columns (sim_simulated,sim_misses,sim_unfinished,
+/// sim_max_resp_us — filled on the "sim" rows) and, under --validate,
+/// cross-check columns (val_checked,val_unsound,val_gap_mean,val_gap_max —
+/// filled on rows of sim-comparable analyses).  Plain analytical sweeps
+/// keep the historical 15-column schema byte-for-byte.
 std::string sweep_to_csv(const SweepResult& result);
 
 /// JSON document: {"gen_stats": {attempts, rejections, fallbacks,
@@ -24,6 +38,14 @@ std::string sweep_to_csv(const SweepResult& result);
 /// utilization: [...], samples: [...], analyses: [{name, accepted: [...],
 /// ratio: [...]}]}]}.  gen_stats are the sweep-level generator health
 /// counters of SweepResult::gen_stats.
+///
+/// Simulation-backed sweeps additionally carry a per-scenario "sim"
+/// object (per-point observation arrays) and, under --validate, a
+/// top-level "validation" object: per-analysis accepts_checked /
+/// unsound_accepts / invariant_violations and pessimism-gap percentiles,
+/// plus the full list of refuted accepts ("unsound").  Per-analysis
+/// per-point cross-check arrays ride inside each scenario's analyses
+/// entries as "validation".
 std::string sweep_to_json(const SweepResult& result);
 
 /// Serialize-and-write wrappers over io/'s write_text_file; on failure

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <vector>
 
+#include "partition/wfd.hpp"
+
 namespace dpcp {
 
 int min_federated_processors(const DagTask& task) {
@@ -63,6 +65,13 @@ std::optional<Partition> initial_federated_partition(const TaskSet& ts, int m) {
     part.add_processor_to_task(i, best->first);
     best->second += u;
   }
+  return part;
+}
+
+std::optional<Partition> baseline_partition(const TaskSet& ts, int m) {
+  auto part = initial_federated_partition(ts, m);
+  if (!part) return std::nullopt;
+  if (!wfd_assign_resources(ts, *part).feasible) return std::nullopt;
   return part;
 }
 

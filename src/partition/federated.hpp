@@ -25,4 +25,13 @@ Time federated_wcrt_bound(const DagTask& task, int cluster_size);
 /// platform is too small (Algorithm 1, lines 1-5).
 std::optional<Partition> initial_federated_partition(const TaskSet& ts, int m);
 
+/// The analysis-independent partition every Algorithm-1 run starts from:
+/// minimum federated clusters plus a worst-fit-decreasing placement of the
+/// global resources.  This is what the experiment engine's simulation
+/// backend executes task sets under when no analysis vouches for them —
+/// observed (un)schedulability on this partition is a property of the task
+/// set and the protocol alone.  nullopt when the clusters do not fit on m
+/// processors or the placement is infeasible.
+std::optional<Partition> baseline_partition(const TaskSet& ts, int m);
+
 }  // namespace dpcp

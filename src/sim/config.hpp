@@ -16,8 +16,12 @@ enum class SimProtocol {
   /// priority-ceiling agents on their synchronization processors.
   kDpcpP,
   /// FIFO spin locks, local execution (the runtime SPIN-SON models): a
-  /// requesting vertex busy-waits on a processor of its own cluster until
-  /// the lock is free, then runs the critical section itself.  No resource
+  /// vertex issues its request when dispatched and busy-waits on that
+  /// processor until the lock is free (the FIFO queue position is taken
+  /// at spin start, never earlier), then runs the critical section itself
+  /// in place.  Spinning and critical sections are non-preemptable, as in
+  /// MSRP-style protocols -- preempting a lock holder on a shared
+  /// processor would deadlock against a co-located spinner.  No resource
   /// placement is needed.
   kSpinFifo,
 };

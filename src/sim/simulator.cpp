@@ -6,6 +6,7 @@
 #include <map>
 #include <queue>
 #include <set>
+#include <stdexcept>
 #include <unordered_map>
 
 #include "util/rng.hpp"
@@ -109,7 +110,15 @@ struct Simulator::Impl {
 
   // Per task: RQ^N / RQ^L ready queues of (job, vertex).
   std::vector<std::deque<std::pair<std::int64_t, int>>> rqn, rql;
-  // kSpinFifo only: vertices waiting for a processor to busy-wait on.
+  // kSpinFifo only: vertices whose current segment is a critical section,
+  // waiting for a processor to *request on*.  Under spin locks a request
+  // joins the lock's FIFO queue only once its vertex occupies a processor
+  // (acquire-on-dispatch): a task cannot reserve a queue slot without
+  // burning processor time on it.  Decoupling the two (the pre-fix
+  // behaviour) both underestimated spin interference and deadlocked on
+  // shared light-task processors -- a waiter could hold a FIFO slot while
+  // another vertex spun non-preemptively on the only processor the lock
+  // holder could run on.
   std::vector<std::deque<std::pair<std::int64_t, int>>> rqs;
   // kSpinFifo only: where each currently-spinning vertex sits.
   std::map<std::pair<std::int64_t, int>, ProcessorId> spinning_at;
@@ -221,9 +230,22 @@ struct Simulator::Impl {
     const Segment& seg = segs[static_cast<std::size_t>(si)];
     job.seg_remaining[static_cast<std::size_t>(vertex)] = seg.length;
     if (seg.critical) {
-      issue_request(job_id, vertex, seg.resource);
+      route_critical(job_id, vertex, seg.resource);
     } else {
       rqn[static_cast<std::size_t>(job.task)].emplace_back(job_id, vertex);
+    }
+  }
+
+  /// Routes a vertex whose current segment is a critical section.  Under
+  /// DPCP-p the request is issued immediately (suspension-based waiting:
+  /// no processor is consumed while blocked).  Under FIFO spin locks the
+  /// vertex queues for a processor first and requests when dispatched.
+  void route_critical(std::int64_t job_id, int vertex, ResourceId q) {
+    if (cfg.protocol == SimProtocol::kSpinFifo) {
+      rqs[static_cast<std::size_t>(jobs[job_id].task)].emplace_back(job_id,
+                                                                    vertex);
+    } else {
+      issue_request(job_id, vertex, q);
     }
   }
 
@@ -260,7 +282,7 @@ struct Simulator::Impl {
     const Segment& seg = segs[static_cast<std::size_t>(si)];
     job.seg_remaining[static_cast<std::size_t>(vertex)] = seg.length;
     if (seg.critical) {
-      issue_request(job_id, vertex, seg.resource);
+      route_critical(job_id, vertex, seg.resource);
     } else {
       // Rule 4: after a request finishes the vertex re-enters RQ^N.
       rqn[static_cast<std::size_t>(job.task)].emplace_back(job_id, vertex);
@@ -271,6 +293,9 @@ struct Simulator::Impl {
   void issue_request(std::int64_t job_id, int vertex, ResourceId q) {
     JobState& job = jobs[job_id];
     if (!global_res[static_cast<std::size_t>(q)]) {
+      // DPCP-p only: under kSpinFifo local requests are issued at dispatch
+      // time (dispatch_request), never from here.
+      assert(cfg.protocol == SimProtocol::kDpcpP);
       LocalResource& lr = local_res[q];
       if (!lr.locked) {
         // Rule 2: lock and become ready on RQ^L.
@@ -280,12 +305,8 @@ struct Simulator::Impl {
         record(TraceKind::kLocalLock, job.task, job_id, vertex, -1, q);
         rql[static_cast<std::size_t>(job.task)].emplace_back(job_id, vertex);
       } else {
-        // Contended: DPCP-p suspends the vertex (Rule 1); FIFO spin locks
-        // busy-wait -- the vertex queues for a processor to spin on.
+        // Contended: the vertex suspends until FIFO wake-up (Rule 1).
         lr.waiters.emplace_back(job_id, vertex);
-        if (cfg.protocol == SimProtocol::kSpinFifo)
-          rqs[static_cast<std::size_t>(job.task)].emplace_back(job_id,
-                                                               vertex);
       }
       return;
     }
@@ -427,29 +448,49 @@ struct Simulator::Impl {
     JobState& wj = jobs[wjob];
     record(TraceKind::kLocalLock, wj.task, wjob, wvertex, -1, q);
     if (cfg.protocol == SimProtocol::kSpinFifo) {
-      // FIFO handoff: a spinning vertex starts its critical section in
-      // place; one still waiting for a spin slot becomes ready on RQ^L.
-      const auto key = std::make_pair(wjob, wvertex);
-      const auto it = spinning_at.find(key);
-      if (it != spinning_at.end()) {
-        const ProcessorId pid = it->second;
-        spinning_at.erase(it);
-        Processor& p = procs[static_cast<std::size_t>(pid)];
-        assert(p.occ == Occupant::kSpinning && p.job == wjob &&
-               p.vertex == wvertex);
-        p.occ = Occupant::kIdle;
-        p.token = 0;
-        --running_vertices[static_cast<std::size_t>(wj.task)];
-        dispatch_vertex(pid, wjob, wvertex);
-      } else {
-        auto& sq = rqs[static_cast<std::size_t>(wj.task)];
-        const auto pos = std::find(sq.begin(), sq.end(), key);
-        assert(pos != sq.end());
-        sq.erase(pos);
-        rql[static_cast<std::size_t>(wj.task)].emplace_back(wjob, wvertex);
-      }
+      // FIFO handoff.  Every waiter joined the queue when it started
+      // spinning (acquire-on-dispatch), so the new owner is on a
+      // processor right now and starts its critical section in place --
+      // lock holders always make progress.
+      const auto it = spinning_at.find(std::make_pair(wjob, wvertex));
+      assert(it != spinning_at.end() &&
+             "spin waiters always occupy a processor");
+      const ProcessorId pid = it->second;
+      spinning_at.erase(it);
+      Processor& p = procs[static_cast<std::size_t>(pid)];
+      assert(p.occ == Occupant::kSpinning && p.job == wjob &&
+             p.vertex == wvertex);
+      p.occ = Occupant::kIdle;
+      p.token = 0;
+      --running_vertices[static_cast<std::size_t>(wj.task)];
+      dispatch_vertex(pid, wjob, wvertex);
     } else {
       rql[static_cast<std::size_t>(wj.task)].emplace_back(wjob, wvertex);
+    }
+  }
+
+  /// kSpinFifo: a vertex whose critical segment reached the front of RQ^S
+  /// got a processor -- issue the request *now*.  A free lock is taken and
+  /// the critical section runs immediately; a held lock enqueues the
+  /// request FIFO and the vertex busy-waits on this processor until the
+  /// release hands over in place.
+  void dispatch_request(ProcessorId pid, std::int64_t job_id, int vertex) {
+    JobState& job = jobs[job_id];
+    const Segment& seg =
+        job.segments[static_cast<std::size_t>(vertex)][static_cast<std::size_t>(
+            job.seg_index[static_cast<std::size_t>(vertex)])];
+    assert(seg.critical);
+    LocalResource& lr = local_res[seg.resource];
+    if (!lr.locked) {
+      lr.locked = true;
+      lr.owner_job = job_id;
+      lr.owner_vertex = vertex;
+      record(TraceKind::kLocalLock, job.task, job_id, vertex, pid,
+             seg.resource);
+      dispatch_vertex(pid, job_id, vertex);
+    } else {
+      lr.waiters.emplace_back(job_id, vertex);
+      dispatch_spin(pid, job_id, vertex);
     }
   }
 
@@ -575,13 +616,23 @@ struct Simulator::Impl {
     }
     // Pass 3 (shared processors only): P-FP preemption -- a ready vertex of
     // a higher-priority co-located task preempts a running lower-priority
-    // vertex.
+    // vertex.  Under FIFO spin locks a critical section is non-preemptable
+    // (as is spinning, which never has occ == kVertex): preempting a lock
+    // holder on a shared processor lets a higher-priority co-located
+    // requester spin on the only processor the holder can run on --
+    // deadlock.  MSRP-style protocols forbid exactly this; the SPIN-SON
+    // analysis charges the symmetric cost as arrival blocking.
     for (ProcessorId pid = 0; pid < part.num_processors(); ++pid) {
       Processor& p = procs[static_cast<std::size_t>(pid)];
       if (p.occ != Occupant::kVertex || p.cluster_tasks.size() <= 1) continue;
-      const int running_task = jobs[p.job].task;
-      const int t =
-          pick_ready_task(p, ts.task(running_task).priority());
+      const JobState& running = jobs[p.job];
+      if (cfg.protocol == SimProtocol::kSpinFifo &&
+          running.segments[static_cast<std::size_t>(p.vertex)]
+              [static_cast<std::size_t>(
+                   running.seg_index[static_cast<std::size_t>(p.vertex)])]
+                  .critical)
+        continue;
+      const int t = pick_ready_task(p, ts.task(running.task).priority());
       if (t >= 0) {
         save_preempted(pid);
         dispatch_front(pid, t);
@@ -636,7 +687,7 @@ struct Simulator::Impl {
     } else if (!qs.empty()) {
       const auto [job_id, vertex] = qs.front();
       qs.pop_front();
-      dispatch_spin(pid, job_id, vertex);
+      dispatch_request(pid, job_id, vertex);
     } else {
       const auto [job_id, vertex] = qn.front();
       qn.pop_front();
@@ -715,6 +766,11 @@ Simulator::Simulator(const TaskSet& ts, const Partition& part,
     : ts_(ts), part_(part), config_(config) {}
 
 SimResult Simulator::run() {
+  if (ran_)
+    throw std::logic_error(
+        "Simulator::run() is single-shot: construct a new Simulator per "
+        "run (a rerun would append to the already-filled trace)");
+  ran_ = true;
   Impl impl(ts_, part_, config_, trace_);
   return impl.run();
 }

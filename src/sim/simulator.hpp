@@ -31,8 +31,13 @@ class Simulator {
   /// every global resource on a processor.
   Simulator(const TaskSet& ts, const Partition& part, SimConfig config);
 
-  /// Runs to completion and returns the collected statistics.  The
-  /// Simulator is single-shot; construct a new one per run.
+  /// Runs to completion and returns the collected statistics.
+  ///
+  /// Single-shot contract (enforced): a Simulator instance may run() at
+  /// most once — a second call throws std::logic_error instead of
+  /// silently operating on stale state (historically it reused the
+  /// already-filled trace buffer, so back-to-back runs accumulated each
+  /// other's events).  Construct a new Simulator per run.
   SimResult run();
 
   /// Valid after run() when config.record_trace was set.
@@ -44,6 +49,7 @@ class Simulator {
   const Partition& part_;
   SimConfig config_;
   std::vector<TraceEvent> trace_;
+  bool ran_ = false;
 };
 
 /// Convenience: simulate `ts` under `part` with default worst-case settings

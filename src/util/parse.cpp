@@ -1,0 +1,39 @@
+#include "util/parse.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+namespace dpcp {
+
+std::optional<long long> parse_int(const std::string& s, long long lo,
+                                   long long hi) {
+  if (s.empty()) return std::nullopt;
+  // strtoll itself skips leading whitespace; forbid it explicitly so the
+  // accepted language is exactly an optional sign followed by digits.
+  if (std::isspace(static_cast<unsigned char>(s.front()))) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (errno == ERANGE || end == s.c_str() || *end != '\0') return std::nullopt;
+  if (v < lo || v > hi) return std::nullopt;
+  return v;
+}
+
+std::optional<double> parse_double(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  if (std::isspace(static_cast<unsigned char>(s.front()))) return std::nullopt;
+  // strtod accepts hexadecimal floats ("0x10" == 16.0); this module is
+  // base-10 only, like parse_int.
+  if (s.find('x') != std::string::npos || s.find('X') != std::string::npos)
+    return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (errno == ERANGE || end == s.c_str() || *end != '\0') return std::nullopt;
+  if (!std::isfinite(v)) return std::nullopt;
+  return v;
+}
+
+}  // namespace dpcp

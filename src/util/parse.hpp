@@ -1,0 +1,28 @@
+// Strict numeric parsing for CLI flags and environment knobs.
+//
+// std::atoi / std::atoll silently map garbage to 0 and wrap or saturate
+// out-of-range input, so "--samples abc" runs a sweep with a mangled knob
+// instead of failing.  These helpers accept a string only when it is, in
+// its entirety, one base-10 number inside the requested range; callers
+// reject anything else with a clear message.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace dpcp {
+
+/// Whole-string base-10 signed integer in [lo, hi] (inclusive).  nullopt
+/// on empty input, garbage, trailing characters, or out-of-range values
+/// (including values that overflow long long).  Leading/trailing
+/// whitespace is rejected too: a knob is a number, nothing else.
+std::optional<long long> parse_int(const std::string& s,
+                                   long long lo = INT64_MIN,
+                                   long long hi = INT64_MAX);
+
+/// Whole-string finite double; nullopt on garbage, trailing characters,
+/// overflow, or non-finite results.
+std::optional<double> parse_double(const std::string& s);
+
+}  // namespace dpcp

@@ -236,6 +236,20 @@ TEST(Report, CsvShapeAndContent) {
   EXPECT_NE(csv.find("DPCP-p-EP"), std::string::npos);
 }
 
+TEST(Report, JsonEscapeHandlesControlCharacters) {
+  // Control characters must never reach the JSON output raw: a stray tab
+  // or ESC in a name silently invalidates the whole document.
+  EXPECT_EQ(json_escape("plain ascii"), "plain ascii");
+  EXPECT_EQ(json_escape("quote\" back\\slash"), "quote\\\" back\\\\slash");
+  EXPECT_EQ(json_escape("a\tb\nc\rd\be\ff"), "a\\tb\\nc\\rd\\be\\ff");
+  EXPECT_EQ(json_escape(std::string("nul\x01mid") + '\x1f'),
+            "nul\\u0001mid\\u001f");
+  // An embedded NUL is a control character like any other.
+  EXPECT_EQ(json_escape(std::string("x\0y", 3)), "x\\u0000y");
+  // Bytes >= 0x20 (including UTF-8 continuation bytes) pass through.
+  EXPECT_EQ(json_escape("\xc3\xa9"), "\xc3\xa9");
+}
+
 TEST(Report, JsonMentionsEveryScenarioAndAnalysis) {
   const auto scenarios = tiny_scenarios();
   const SweepResult result =

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "analysis/dpcp_p.hpp"
 #include "gen/taskset_gen.hpp"
@@ -329,6 +330,27 @@ TEST(Simulator, OverloadedClusterMissesDeadlines) {
   cfg.horizon = 99;
   const SimResult res = simulate(ts, part, cfg);
   EXPECT_GT(res.total_deadline_misses(), 0);
+}
+
+TEST(Simulator, SecondRunOnSameInstanceThrows) {
+  // The Simulator is single-shot: rerunning an instance would reuse the
+  // already-filled trace buffer.  The contract is enforced, not implied.
+  TaskSet ts(0);
+  DagTask& t = ts.add_task(100, 100);
+  t.add_vertex(10);
+  ts.assign_rm_priorities();
+  ts.finalize();
+  Partition part(1, 1, 0);
+  part.add_processor_to_task(0, 0);
+  SimConfig cfg;
+  cfg.horizon = 99;
+  cfg.record_trace = true;
+  Simulator sim(ts, part, cfg);
+  const SimResult first = sim.run();
+  EXPECT_TRUE(first.drained);
+  EXPECT_THROW(sim.run(), std::logic_error);
+  // The one-shot convenience wrapper is unaffected.
+  EXPECT_TRUE(simulate(ts, part, cfg).drained);
 }
 
 TEST(Simulator, PeriodicReleasesMatchHorizon) {

@@ -7,6 +7,7 @@
 #include <set>
 
 #include "util/fixed_point.hpp"
+#include "util/parse.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -14,6 +15,47 @@
 
 namespace dpcp {
 namespace {
+
+// ---------- strict numeric parsing -----------------------------------------
+
+TEST(Parse, AcceptsExactIntegers) {
+  EXPECT_EQ(parse_int("0"), 0);
+  EXPECT_EQ(parse_int("42"), 42);
+  EXPECT_EQ(parse_int("-17"), -17);
+  EXPECT_EQ(parse_int("+8"), 8);
+  EXPECT_EQ(parse_int("9223372036854775807"), INT64_MAX);
+}
+
+TEST(Parse, RejectsWhatAtoiSilentlyMangles) {
+  // Every one of these was a silent 0 / truncation / wrap under atoi.
+  EXPECT_FALSE(parse_int("abc").has_value());
+  EXPECT_FALSE(parse_int("12abc").has_value());
+  EXPECT_FALSE(parse_int("1O0").has_value());  // letter O typo
+  EXPECT_FALSE(parse_int("").has_value());
+  EXPECT_FALSE(parse_int(" 5").has_value());
+  EXPECT_FALSE(parse_int("5 ").has_value());
+  EXPECT_FALSE(parse_int("5.0").has_value());
+  EXPECT_FALSE(parse_int("99999999999999999999").has_value());  // overflow
+  EXPECT_FALSE(parse_int("0x10").has_value());  // base 10 only
+}
+
+TEST(Parse, EnforcesRange) {
+  EXPECT_EQ(parse_int("100", 1, 100), 100);
+  EXPECT_FALSE(parse_int("101", 1, 100).has_value());
+  EXPECT_FALSE(parse_int("0", 1, 100).has_value());
+  EXPECT_FALSE(parse_int("-1", 0, 100).has_value());
+}
+
+TEST(Parse, Doubles) {
+  EXPECT_DOUBLE_EQ(*parse_double("0.5"), 0.5);
+  EXPECT_DOUBLE_EQ(*parse_double("1e-3"), 1e-3);
+  EXPECT_FALSE(parse_double("0.5x").has_value());
+  EXPECT_FALSE(parse_double("").has_value());
+  EXPECT_FALSE(parse_double("nan").has_value());
+  EXPECT_FALSE(parse_double("inf").has_value());
+  EXPECT_FALSE(parse_double("1e999").has_value());
+  EXPECT_FALSE(parse_double("0x10").has_value());  // no hex floats either
+}
 
 // ---------- time ----------------------------------------------------------
 
