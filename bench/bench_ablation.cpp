@@ -1,13 +1,16 @@
 // Ablation studies for the design choices DESIGN.md calls out:
 //
-//  A1. Resource placement: the paper's WFD heuristic (Algorithm 2) vs a
-//      first-fit-decreasing baseline -- how much schedulability does the
+//  A1. Resource placement: the paper's WFD heuristic (Algorithm 2) vs the
+//      other placement strategies (first-fit, best-fit,
+//      synchronization-aware) -- how much schedulability does the
 //      worst-fit spreading actually buy?
 //  A2. Path handling: DPCP-p-EP's exact path-signature enumeration vs the
 //      EN envelope -- the value of knowing per-vertex request counts
 //      (the paper's Sec. VI discussion).
 //  A3. EP path budget: acceptance as a function of the signature cap, to
 //      show when the envelope fallback starts to bite.
+//  A4. Spare granting: Algorithm 1's first-failure rule vs granting to
+//      the task with the largest deadline miss.
 //
 // Usage: bench_ablation   (env: DPCP_SAMPLES, default 60)
 #include <cstdio>
@@ -18,10 +21,10 @@ using namespace dpcp;
 
 namespace {
 
-/// Acceptance of DPCP-p-EP under a given placement policy / path budget at
-/// one utilization point.
+/// Acceptance of DPCP-p-EP under a given placement strategy / path budget
+/// at one utilization point.
 double acceptance(const Scenario& sc, double util, int samples,
-                  ResourcePlacement placement, std::int64_t max_sigs) {
+                  PlacementKind placement, std::int64_t max_sigs) {
   DpcpPOptions opt;
   opt.max_signatures = max_sigs;
   DpcpPAnalysis ep(DpcpPAnalysis::PathMode::kEnumerate, opt);
@@ -29,6 +32,8 @@ double acceptance(const Scenario& sc, double util, int samples,
                           const std::vector<Time>& hint) {
     return ep.wcrt(t, p, i, hint);
   };
+  PartitionOptions options;
+  options.strategy = &placement_strategy(placement);
   Rng root(99);
   int accepted = 0, total = 0;
   for (int s = 0; s < samples; ++s) {
@@ -39,7 +44,7 @@ double acceptance(const Scenario& sc, double util, int samples,
     const auto ts = generate_taskset(rng, params);
     if (!ts) continue;
     ++total;
-    if (partition_and_analyze(*ts, sc.m, oracle, {placement}).schedulable)
+    if (partition_and_analyze(*ts, sc.m, oracle, options).schedulable)
       ++accepted;
   }
   return total ? static_cast<double>(accepted) / total : 0.0;
@@ -52,20 +57,23 @@ int main() {
   const int samples = env.samples_per_point;
   Scenario sc = fig2_scenario('a');
 
-  std::printf("=== A1: WFD (Algorithm 2) vs first-fit-decreasing placement "
+  std::printf("=== A1: resource-placement strategies "
               "(DPCP-p-EP, Fig.2(a) scenario, %d samples/point) ===\n",
               samples);
   {
-    Table t({"norm-util", "WFD", "FFD"});
+    Table t({"norm-util", "WFD", "FFD", "BFD", "SYNC"});
     for (double nu : {0.3, 0.4, 0.5, 0.6, 0.7}) {
       const double u = nu * sc.m;
-      t.add_row({strfmt("%.2f", nu),
-                 strfmt("%.3f", acceptance(sc, u, samples,
-                                           ResourcePlacement::kWfd, 20'000)),
-                 strfmt("%.3f",
-                        acceptance(sc, u, samples,
-                                   ResourcePlacement::kFirstFitDecreasing,
-                                   20'000))});
+      t.add_row(
+          {strfmt("%.2f", nu),
+           strfmt("%.3f",
+                  acceptance(sc, u, samples, PlacementKind::kWfd, 20'000)),
+           strfmt("%.3f", acceptance(sc, u, samples, PlacementKind::kFirstFit,
+                                     20'000)),
+           strfmt("%.3f", acceptance(sc, u, samples, PlacementKind::kBestFit,
+                                     20'000)),
+           strfmt("%.3f", acceptance(sc, u, samples,
+                                     PlacementKind::kSyncAware, 20'000))});
     }
     std::fputs(t.to_text().c_str(), stdout);
   }
@@ -86,7 +94,23 @@ int main() {
     for (std::int64_t cap : {1LL, 64LL, 1024LL, 20'000LL}) {
       t.add_row({strfmt("%lld", static_cast<long long>(cap)),
                  strfmt("%.3f", acceptance(sc, 0.5 * sc.m, samples,
-                                           ResourcePlacement::kWfd, cap))});
+                                           PlacementKind::kWfd, cap))});
+    }
+    std::fputs(t.to_text().c_str(), stdout);
+  }
+
+  std::printf("\n=== A4: spare granting: first failure vs largest deadline "
+              "miss (WFD placement) ===\n");
+  {
+    Table t({"norm-util", "first-failure", "max-miss"});
+    for (double nu : {0.3, 0.4, 0.5, 0.6, 0.7}) {
+      const double u = nu * sc.m;
+      t.add_row(
+          {strfmt("%.2f", nu),
+           strfmt("%.3f",
+                  acceptance(sc, u, samples, PlacementKind::kWfd, 20'000)),
+           strfmt("%.3f", acceptance(sc, u, samples,
+                                     PlacementKind::kWfdMaxMiss, 20'000))});
     }
     std::fputs(t.to_text().c_str(), stdout);
   }

@@ -39,5 +39,22 @@ int main(int argc, char** argv) {
     std::printf("generator fallbacks: %lld, failures: %lld\n",
                 static_cast<long long>(summary.gen_stats.rfs.fallbacks),
                 static_cast<long long>(summary.gen_stats.failures));
+
+  // Placement-strategy sensitivity: the same scenario swept with DPCP-p-EP
+  // under every placement strategy (same task sets per point), reported as
+  // acceptance deltas against the paper's WFD.
+  std::puts("\nPlacement-strategy deltas (DPCP-p-EP, same task sets):");
+  SweepOptions placement_options = options;
+  placement_options.placements = all_placement_kinds();
+  const SweepResult placed =
+      run_sweep({scenario}, {AnalysisKind::kDpcpPEp}, placement_options);
+  const AcceptanceCurve& pc = placed.curves.front();
+  const std::int64_t baseline = pc.total_accepted(0);  // first axis entry: wfd
+  for (std::size_t a = 0; a < pc.names.size(); ++a) {
+    const std::int64_t accepted = pc.total_accepted(a);
+    std::printf("  %-22s accepted %5lld  (%+lld vs wfd)\n",
+                pc.names[a].c_str(), static_cast<long long>(accepted),
+                static_cast<long long>(accepted - baseline));
+  }
   return 0;
 }

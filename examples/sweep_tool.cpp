@@ -40,6 +40,11 @@ int usage(const char* argv0) {
       "  --analyses LIST   comma list of ep,en,spin,lpp,fed, or\n"
       "                    paper (all five) | locking (no fed)\n"
       "                    (default: paper)\n"
+      "  --placement LIST  placement-strategy axis: comma list of\n"
+      "                    wfd,ffd,bfd,sync,wfd-maxmiss, or all; every\n"
+      "                    placement-requiring analysis runs once per\n"
+      "                    strategy on the same task sets, as columns\n"
+      "                    NAME@strategy (default: wfd only, plain names)\n"
       "  --samples N       task sets per utilization point (default: 100)\n"
       "  --seed S          root seed of the sweep (default: 42)\n"
       "  --threads T       worker threads, 0 = hardware cores (default: 0)\n"
@@ -137,6 +142,17 @@ int main(int argc, char** argv) {
     };
     if (arg == "--scenarios") scenario_spec = value();
     else if (arg == "--analyses") analysis_list = value();
+    else if (arg == "--placement") {
+      // A garbled strategy token is a hard usage error (exit 2), never a
+      // silent fall-back to the default placement.
+      std::string perror;
+      const auto placements = placements_from_spec(value(), &perror);
+      if (!placements) {
+        std::fprintf(stderr, "--placement: %s\n", perror.c_str());
+        return usage(argv[0]);
+      }
+      options.placements = *placements;
+    }
     else if (arg == "--samples") options.samples_per_point = static_cast<int>(int_value(1, 1 << 20));
     else if (arg == "--seed") options.seed = static_cast<std::uint64_t>(int_value(0, INT64_MAX));
     else if (arg == "--threads") options.threads = static_cast<int>(int_value(0, 1 << 16));
@@ -175,6 +191,14 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "sweep: %zu scenario(s), %zu analyses, %d samples/point, seed %llu\n",
                  scenarios->size(), kinds.size(), options.samples_per_point,
                  static_cast<unsigned long long>(options.seed));
+    if (!options.placements.empty()) {
+      std::string axis;
+      for (PlacementKind p : options.placements) {
+        if (!axis.empty()) axis += ",";
+        axis += placement_kind_token(p);
+      }
+      std::fprintf(stderr, "placement axis: %s\n", axis.c_str());
+    }
     if (options.sim.enabled || options.sim.validate)
       std::fprintf(stderr, "sim backend: horizon %lld ms, %s mode%s\n",
                    static_cast<long long>(options.sim.horizon / kMillisecond),

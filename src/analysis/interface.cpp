@@ -16,11 +16,21 @@ std::optional<Time> SchedAnalysis::wcrt(const TaskSet& ts,
   return prepared->wcrt(task, hint);
 }
 
-PartitionOutcome SchedAnalysis::test(AnalysisSession& session, int m) const {
+PartitionOutcome SchedAnalysis::test(AnalysisSession& session, int m,
+                                     const PlacementStrategy* strategy) const {
   PartitionOptions options;
   options.placement = placement();
   options.priority_order = &session.priority_order();
-  options.wfd_cache = &session.wfd_cache();
+  if (options.placement != ResourcePlacement::kNone) {
+    if (!strategy) {
+      strategy = &placement_strategy(
+          options.placement == ResourcePlacement::kFirstFitDecreasing
+              ? PlacementKind::kFirstFit
+              : PlacementKind::kWfd);
+    }
+    options.strategy = strategy;
+    options.placement_cache = &session.placement_cache(strategy->cache_key());
+  }
   auto prepared = prepare(session);
   return partition_and_analyze(session.taskset(), m, *prepared, options);
 }

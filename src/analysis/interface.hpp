@@ -58,8 +58,13 @@ class SchedAnalysis {
                            const std::vector<Time>& hint) const;
 
   /// End-to-end schedulability test: Algorithm 1 with this analysis,
-  /// reusing `session`'s partition-independent caches.
-  PartitionOutcome test(AnalysisSession& session, int m) const;
+  /// reusing `session`'s partition-independent caches.  `strategy`
+  /// overrides the placement policy for placement-requiring protocols
+  /// (nullptr = the policy placement() maps to: WFD or FFD); analyses
+  /// with placement() == kNone ignore it — their protocols execute
+  /// resources locally, so there is nothing to place.
+  PartitionOutcome test(AnalysisSession& session, int m,
+                        const PlacementStrategy* strategy = nullptr) const;
 
   /// End-to-end schedulability test with a private one-shot session.
   PartitionOutcome test(const TaskSet& ts, int m) const;

@@ -16,6 +16,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "model/paths.hpp"
@@ -49,12 +51,17 @@ class AnalysisSession {
   /// this at <= one per task).
   std::int64_t path_enumerations() const { return path_enumerations_; }
 
-  /// WFD placement memo shared by every analysis run on this task set.
-  WfdPlacementCache& wfd_cache() { return wfd_cache_; }
+  /// Placement memo for one strategy identity (PlacementStrategy::
+  /// cache_key()), shared by every analysis run on this task set.  Memos
+  /// are keyed by strategy so a sweep's placement axis can never leak one
+  /// strategy's placements into another's rounds.
+  PlacementCache& placement_cache(const std::string& strategy_key) {
+    return placement_caches_[strategy_key];
+  }
 
  private:
   const TaskSet& ts_;
-  WfdPlacementCache wfd_cache_;
+  std::unordered_map<std::string, PlacementCache> placement_caches_;
   std::vector<std::unique_ptr<PathEnumResult>> paths_;
   std::vector<std::int64_t> paths_budget_;
   std::vector<int> order_;

@@ -48,6 +48,7 @@
 #include "partition/federated.hpp"
 #include "partition/partition.hpp"
 #include "partition/partitioner.hpp"
+#include "partition/placement.hpp"
 #include "partition/wfd.hpp"
 #include "sim/config.hpp"
 #include "sim/segments.hpp"

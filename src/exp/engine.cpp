@@ -37,7 +37,6 @@ SweepResult run_sweep(const std::vector<Scenario>& scenarios,
                       const std::vector<AnalysisKind>& kinds,
                       const SweepOptions& options) {
   const std::size_t n_scen = scenarios.size();
-  const std::size_t n_kind = kinds.size();
   // The per-sample RNG key is (point << 20) ^ sample, so sample indices
   // must stay below 2^20 or sub-streams would alias across points.
   const std::size_t samples = static_cast<std::size_t>(
@@ -48,22 +47,58 @@ SweepResult run_sweep(const std::vector<Scenario>& scenarios,
   sim_opts.enabled = sim_opts.enabled || sim_opts.validate;
   const bool sim_on = sim_opts.enabled;
   const bool validate = sim_opts.validate;
-  // Analytical columns first, then the trailing "sim" observation column.
-  const std::size_t n_cols = n_kind + (sim_on ? 1 : 0);
 
+  // Analytical columns.  Without a placement axis every analysis kind is
+  // one column under its default strategy (the historical layout); with
+  // one, placement-requiring kinds fan out into one column per strategy
+  // ("NAME@token"), all tested on the same task sets, while
+  // placement-insensitive kinds keep a single bare column.
+  const bool placement_axis = !options.placements.empty();
+  const std::vector<PlacementKind> placements =
+      placement_axis ? options.placements
+                     : std::vector<PlacementKind>{PlacementKind::kWfd};
+  struct Column {
+    AnalysisKind kind;
+    const PlacementStrategy* strategy;  // nullptr = placement-insensitive
+    std::string name;                   // display (decorated) name
+  };
+  std::vector<Column> columns;
   SweepResult result;
+  for (AnalysisKind k : kinds) {
+    const auto analysis = make_analysis(k, options.analysis);
+    const std::string bare = analysis->name();
+    if (analysis->placement() == ResourcePlacement::kNone) {
+      columns.push_back({k, nullptr, bare});
+      result.column_analysis.push_back(bare);
+      result.column_placement.push_back("");
+      continue;
+    }
+    for (PlacementKind p : placements) {
+      const PlacementStrategy& strategy = placement_strategy(p);
+      columns.push_back(
+          {k, &strategy,
+           placement_axis ? bare + "@" + strategy.name() : bare});
+      result.column_analysis.push_back(bare);
+      result.column_placement.push_back(strategy.name());
+    }
+  }
+  const std::size_t n_acol = columns.size();
+  // Analytical columns first, then the trailing "sim" observation column.
+  const std::size_t n_cols = n_acol + (sim_on ? 1 : 0);
+
   result.curves.resize(n_scen);
+  result.placement_axis = placement_axis;
   result.sim_enabled = sim_on;
   result.validated = validate;
 
-  // Which simulator protocol (if any) faithfully executes each analysis.
-  std::vector<std::optional<SimProtocol>> protocols(n_kind);
+  // Which simulator protocol (if any) faithfully executes each column.
+  std::vector<std::optional<SimProtocol>> protocols(n_acol);
   if (validate) {
-    for (std::size_t a = 0; a < n_kind; ++a)
-      protocols[a] = sim_protocol_for(kinds[a]);
-    result.validation.analyses.resize(n_kind);
-    for (std::size_t a = 0; a < n_kind; ++a) {
-      result.validation.analyses[a].name = analysis_kind_name(kinds[a]);
+    for (std::size_t a = 0; a < n_acol; ++a)
+      protocols[a] = sim_protocol_for(columns[a].kind);
+    result.validation.analyses.resize(n_acol);
+    for (std::size_t a = 0; a < n_acol; ++a) {
+      result.validation.analyses[a].name = columns[a].name;
       result.validation.analyses[a].comparable = protocols[a].has_value();
     }
   }
@@ -81,7 +116,7 @@ SweepResult run_sweep(const std::vector<Scenario>& scenarios,
       for (double nu : options.norm_utilizations)
         curve.utilization.push_back(nu * scenarios[s].m);
     }
-    for (AnalysisKind k : kinds) curve.names.push_back(analysis_kind_name(k));
+    for (const Column& c : columns) curve.names.push_back(c.name);
     if (sim_on) curve.names.push_back(kSimColumnName);
     const std::size_t points = curve.utilization.size();
     curve.accepted.assign(n_cols, std::vector<std::int64_t>(points, 0));
@@ -98,7 +133,7 @@ SweepResult run_sweep(const std::vector<Scenario>& scenarios,
     result.validation_points.resize(n_scen);
     for (std::size_t s = 0; s < n_scen; ++s)
       result.validation_points[s].assign(
-          n_kind, std::vector<ValidationPointStats>(
+          n_acol, std::vector<ValidationPointStats>(
                       result.curves[s].utilization.size()));
   }
 
@@ -120,11 +155,12 @@ SweepResult run_sweep(const std::vector<Scenario>& scenarios,
     seeds[s] = scenario_seed(options.seed, s);
 
   auto worker = [&]() {
-    // Per-worker analysis instances and per-scenario accumulators; the
-    // shared curves are touched only once, under the merge mutex.
+    // Per-worker analysis instances (one per column) and per-scenario
+    // accumulators; the shared curves are touched only once, under the
+    // merge mutex.
     std::vector<std::unique_ptr<SchedAnalysis>> analyses;
-    for (AnalysisKind k : kinds)
-      analyses.push_back(make_analysis(k, options.analysis));
+    for (const Column& c : columns)
+      analyses.push_back(make_analysis(c.kind, options.analysis));
 
     std::vector<std::vector<std::vector<std::int64_t>>> local_accepted(n_scen);
     std::vector<std::vector<std::int64_t>> local_samples(n_scen);
@@ -137,10 +173,10 @@ SweepResult run_sweep(const std::vector<Scenario>& scenarios,
       local_samples[s].assign(points, 0);
       if (sim_on) local_sim[s].resize(points);
       if (validate)
-        local_val[s].assign(n_kind,
+        local_val[s].assign(n_acol,
                             std::vector<ValidationPointStats>(points));
     }
-    std::vector<AnalysisValidation> local_av(validate ? n_kind : 0);
+    std::vector<AnalysisValidation> local_av(validate ? n_acol : 0);
     std::vector<UnsoundAccept> local_failures;
     GenStats local_gen;
 
@@ -173,12 +209,14 @@ SweepResult run_sweep(const std::vector<Scenario>& scenarios,
         AnalysisSession session(*ts);
         for (std::size_t a = 0; a < analyses.size(); ++a) {
           if (!validate) {
-            if (analyses[a]->test(session, scenarios[s].m).schedulable)
+            if (analyses[a]
+                    ->test(session, scenarios[s].m, columns[a].strategy)
+                    .schedulable)
               ++local_accepted[s][a][point];
             continue;
           }
           const PartitionOutcome outcome =
-              analyses[a]->test(session, scenarios[s].m);
+              analyses[a]->test(session, scenarios[s].m, columns[a].strategy);
           if (!outcome.schedulable) continue;
           ++local_accepted[s][a][point];
           if (!protocols[a]) continue;
@@ -233,7 +271,7 @@ SweepResult run_sweep(const std::vector<Scenario>& scenarios,
             sp.invariant_violations += v.invariant_violations;
             for (const auto& t : res.task)
               sp.max_response = std::max(sp.max_response, t.max_response);
-            if (v.schedulable) ++local_accepted[s][n_kind][point];
+            if (v.schedulable) ++local_accepted[s][n_acol][point];
           }
         }
       }
@@ -258,12 +296,12 @@ SweepResult run_sweep(const std::vector<Scenario>& scenarios,
         for (std::size_t p = 0; p < points; ++p)
           result.sim_stats[s][p].merge(local_sim[s][p]);
       if (validate)
-        for (std::size_t a = 0; a < n_kind; ++a)
+        for (std::size_t a = 0; a < n_acol; ++a)
           for (std::size_t p = 0; p < points; ++p)
             result.validation_points[s][a][p].merge(local_val[s][a][p]);
     }
     if (validate) {
-      for (std::size_t a = 0; a < n_kind; ++a)
+      for (std::size_t a = 0; a < n_acol; ++a)
         result.validation.analyses[a].merge(local_av[a]);
       result.validation.failures.insert(result.validation.failures.end(),
                                         local_failures.begin(),

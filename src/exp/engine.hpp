@@ -46,6 +46,13 @@ struct SweepOptions {
   std::vector<double> norm_utilizations;
   /// Tuning knobs forwarded to make_analysis() (EP path/signature budgets).
   AnalysisOptions analysis;
+  /// Placement axis: when non-empty, every placement-requiring analysis
+  /// (placement() != kNone) is run once per listed strategy on the same
+  /// task sets — one column per (analysis, strategy) pair, named
+  /// "NAME@token" — while placement-insensitive analyses keep a single
+  /// undecorated column.  Empty = the paper's WFD only, with the
+  /// historical column names (golden-CSV compatible).
+  std::vector<PlacementKind> placements;
   /// Simulation backend: when sim.enabled (or sim.validate, which implies
   /// it), every generated task set is also executed on the discrete-event
   /// simulator and an extra "sim" observation column is appended after the
@@ -63,6 +70,18 @@ struct SweepOptions {
 /// One AcceptanceCurve per input scenario, in input order.
 struct SweepResult {
   std::vector<AcceptanceCurve> curves;
+  /// True when a placement axis ran (SweepOptions::placements non-empty):
+  /// analytical columns are (analysis, strategy) pairs and the report
+  /// writers add a placement column/field plus per-strategy acceptance
+  /// deltas.
+  bool placement_axis = false;
+  /// Per analytical column: the bare analysis display name (no strategy
+  /// suffix).  Size = number of analytical columns (the trailing sim
+  /// column, when present, is not listed).
+  std::vector<std::string> column_analysis;
+  /// Per analytical column: the placement-strategy token, or "" for
+  /// placement-insensitive analyses.
+  std::vector<std::string> column_placement;
   /// Generator health counters merged over the whole sweep (generation is
   /// per task set, not per analysis, so these are sweep-level).
   GenStats gen_stats;

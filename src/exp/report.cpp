@@ -53,6 +53,10 @@ std::string sweep_to_csv(const SweepResult& result) {
       "scenario", "m",         "nr_min",    "nr_max",   "u_avg",
       "p_r",      "n_req_max", "cs_min_us", "cs_max_us", "norm_util",
       "util",     "samples",   "analysis",  "accepted", "ratio"};
+  // The placement column exists only on placement-axis sweeps, so plain
+  // sweeps keep the historical schema byte-for-byte (the golden test).
+  if (result.placement_axis)
+    header.insert(header.begin() + 13, "placement");
   if (result.sim_enabled)
     header.insert(header.end(), {"sim_simulated", "sim_misses",
                                  "sim_unfinished", "sim_max_resp_us"});
@@ -83,6 +87,12 @@ std::string sweep_to_csv(const SweepResult& result) {
              curve.names[a],
              strfmt("%lld", static_cast<long long>(curve.accepted[a][p])),
              strfmt("%.6f", curve.ratio(a, p))};
+        if (result.placement_axis)
+          // Empty for placement-insensitive analyses and the sim row.
+          row.insert(row.begin() + 13,
+                     a < result.column_placement.size()
+                         ? result.column_placement[a]
+                         : std::string());
         if (result.sim_enabled) {
           if (a == n_analyses) {
             const SimPointStats& sp = result.sim_stats[s][p];
@@ -133,6 +143,43 @@ std::string sweep_to_json(const SweepResult& result) {
       static_cast<long long>(gs.task_retries),
       static_cast<long long>(gs.usage_downscales),
       static_cast<long long>(gs.failures));
+
+  if (result.placement_axis) {
+    // Per-strategy acceptance deltas, grouped by analysis: total accepted
+    // over the whole sweep per strategy, minus the group's first strategy
+    // (the axis baseline).  The CI placement job uploads this object.
+    std::vector<std::int64_t> totals(result.column_analysis.size(), 0);
+    for (const AcceptanceCurve& curve : result.curves)
+      for (std::size_t a = 0; a < totals.size(); ++a)
+        for (std::size_t p = 0; p < curve.utilization.size(); ++p)
+          totals[a] += curve.accepted[a][p];
+    out += "\n  \"placement_deltas\": [";
+    bool first_group = true;
+    for (std::size_t a = 0; a < totals.size(); ++a) {
+      if (result.column_placement[a].empty()) continue;  // insensitive
+      const bool group_start =
+          a == 0 || result.column_analysis[a] != result.column_analysis[a - 1];
+      if (!group_start) continue;
+      out += first_group ? "\n    {" : ",\n    {";
+      first_group = false;
+      out += strfmt("\"analysis\": \"%s\", \"strategies\": [",
+                    json_escape(result.column_analysis[a]).c_str());
+      const std::int64_t baseline = totals[a];
+      for (std::size_t b = a; b < totals.size() &&
+                              result.column_analysis[b] ==
+                                  result.column_analysis[a];
+           ++b) {
+        out += strfmt(
+            "%s{\"placement\": \"%s\", \"accepted\": %lld, \"delta\": %lld}",
+            b == a ? "" : ", ",
+            json_escape(result.column_placement[b]).c_str(),
+            static_cast<long long>(totals[b]),
+            static_cast<long long>(totals[b] - baseline));
+      }
+      out += "]}";
+    }
+    out += first_group ? "]," : "\n  ],";
+  }
 
   if (result.validated) {
     const ValidationReport& vr = result.validation;
@@ -215,8 +262,12 @@ std::string sweep_to_json(const SweepResult& result) {
     out += "\n     \"analyses\": [";
     for (std::size_t a = 0; a < curve.names.size(); ++a) {
       out += a ? ",\n       {" : "\n       {";
-      out += strfmt("\"name\": \"%s\", \"accepted\": [",
-                    json_escape(curve.names[a]).c_str());
+      out += strfmt("\"name\": \"%s\", ", json_escape(curve.names[a]).c_str());
+      if (result.placement_axis && a < result.column_placement.size())
+        out += strfmt("\"analysis\": \"%s\", \"placement\": \"%s\", ",
+                      json_escape(result.column_analysis[a]).c_str(),
+                      json_escape(result.column_placement[a]).c_str());
+      out += "\"accepted\": [";
       for (std::size_t p = 0; p < curve.accepted[a].size(); ++p)
         out += strfmt("%s%lld", p ? ", " : "",
                       static_cast<long long>(curve.accepted[a][p]));

@@ -29,8 +29,10 @@ std::string json_escape(const std::string& s);
 /// observation columns (sim_simulated,sim_misses,sim_unfinished,
 /// sim_max_resp_us — filled on the "sim" rows) and, under --validate,
 /// cross-check columns (val_checked,val_unsound,val_gap_mean,val_gap_max —
-/// filled on rows of sim-comparable analyses).  Plain analytical sweeps
-/// keep the historical 15-column schema byte-for-byte.
+/// filled on rows of sim-comparable analyses).  Placement-axis sweeps
+/// insert a "placement" column after "analysis" carrying the strategy
+/// token (empty for placement-insensitive analyses and sim rows).  Plain
+/// analytical sweeps keep the historical 15-column schema byte-for-byte.
 std::string sweep_to_csv(const SweepResult& result);
 
 /// JSON document: {"gen_stats": {attempts, rejections, fallbacks,
@@ -46,6 +48,11 @@ std::string sweep_to_csv(const SweepResult& result);
 /// plus the full list of refuted accepts ("unsound").  Per-analysis
 /// per-point cross-check arrays ride inside each scenario's analyses
 /// entries as "validation".
+///
+/// Placement-axis sweeps add a top-level "placement_deltas" array (per
+/// placement-requiring analysis: total accepted and delta vs. the axis's
+/// first strategy) and "analysis"/"placement" fields on each per-scenario
+/// analysis entry.
 std::string sweep_to_json(const SweepResult& result);
 
 /// Serialize-and-write wrappers over io/'s write_text_file; on failure

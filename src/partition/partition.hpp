@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cassert>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -96,6 +97,30 @@ class Partition {
   std::vector<ResourceId> resources_colocated_with(ResourceId q) const;
   /// Phi^p(tau_i): resources placed on any processor of task i's cluster.
   std::vector<ResourceId> resources_on_cluster(int task) const;
+
+  /// Checks the structural invariants every placement strategy and the
+  /// federated allocator must preserve:
+  ///
+  ///   * every task has a nonempty, duplicate-free cluster of in-range
+  ///     processors;
+  ///   * clusters are disjoint, except that a processor may be shared by
+  ///     several *single-processor* clusters (the partitioned light tasks
+  ///     of Sec. VI);
+  ///   * every global resource of `ts` is placed on exactly one in-range
+  ///     processor (locals may stay unplaced);
+  ///   * no cluster is over capacity: for each task with a dedicated
+  ///     cluster, task utilization plus the utilization of the resources
+  ///     placed inside the cluster fits the cluster's processor count
+  ///     (Algorithm 2's feasibility rule); each shared light processor
+  ///     fits the utilizations of the tasks packed on it, and its total
+  ///     task + resource load fits the aggregate capacity of its
+  ///     co-hosted unit clusters (the bound the placement strategies'
+  ///     per-cluster accounting jointly guarantees — a strict <= 1
+  ///     per-processor check would reject placements Algorithm 2 itself
+  ///     produces in the Sec. VI mixed setting).
+  ///
+  /// Returns an error description, or nullopt when valid.
+  std::optional<std::string> validate(const TaskSet& ts) const;
 
   std::string to_string() const;
 

@@ -7,30 +7,61 @@
 namespace dpcp {
 namespace {
 
-bool place_resources(const TaskSet& ts, Partition& part,
-                     const PartitionOptions& options) {
+PlacementCache::Outcome place_resources(const TaskSet& ts, Partition& part,
+                                        const PartitionOptions& options) {
+  if (options.placement == ResourcePlacement::kNone) {
+    part.clear_resource_assignment();
+    return {true, {}};
+  }
+  if (options.strategy) {
+    // A pluggable strategy's output is untrusted: gate every *freshly*
+    // computed placement on Partition::validate() before any analysis
+    // sees it.  Placement is a pure function of the cluster shape, so
+    // cache hits restore the recorded verdict instead of re-validating.
+    const auto compute = [&]() {
+      PlacementCache::Outcome outcome;
+      outcome.feasible = options.strategy->place_resources(ts, part);
+      if (outcome.feasible) {
+        if (const auto err = part.validate(ts)) {
+          outcome.feasible = false;
+          outcome.invalid = "placement strategy '" +
+                            options.strategy->name() +
+                            "' produced an invalid partition: " + *err;
+        }
+      }
+      return outcome;
+    };
+    if (options.placement_cache) {
+      if (const auto hit = options.placement_cache->try_restore(part))
+        return *hit;
+      const PlacementCache::Outcome outcome = compute();
+      options.placement_cache->store(part, outcome);
+      return outcome;
+    }
+    return compute();
+  }
   switch (options.placement) {
     case ResourcePlacement::kNone:
-      part.clear_resource_assignment();
-      return true;
+      break;  // handled above
     case ResourcePlacement::kWfd:
-      if (options.wfd_cache) {
-        if (const auto hit = options.wfd_cache->try_restore(part))
+      if (options.placement_cache) {
+        if (const auto hit = options.placement_cache->try_restore(part))
           return *hit;
-        const bool feasible = wfd_assign_resources(ts, part).feasible;
-        options.wfd_cache->store(part, feasible);
-        return feasible;
+        const PlacementCache::Outcome outcome{
+            wfd_assign_resources(ts, part).feasible, {}};
+        options.placement_cache->store(part, outcome);
+        return outcome;
       }
-      return wfd_assign_resources(ts, part).feasible;
+      return {wfd_assign_resources(ts, part).feasible, {}};
     case ResourcePlacement::kFirstFitDecreasing:
-      return ffd_assign_resources(ts, part).feasible;
+      return {ffd_assign_resources(ts, part).feasible, {}};
   }
-  return false;
+  return {false, {}};
 }
 
 }  // namespace
 
-std::vector<int> WfdPlacementCache::key(const Partition& part) {
+std::vector<int> PlacementCache::key(const Partition& part) {
   std::vector<int> k;
   k.reserve(static_cast<std::size_t>(part.num_tasks()) * 3);
   for (int i = 0; i < part.num_tasks(); ++i) {
@@ -41,7 +72,7 @@ std::vector<int> WfdPlacementCache::key(const Partition& part) {
   return k;
 }
 
-std::size_t WfdPlacementCache::KeyHash::operator()(
+std::size_t PlacementCache::KeyHash::operator()(
     const std::vector<int>& v) const {
   std::size_t h = 0x811C9DC5u;
   for (int x : v)
@@ -49,16 +80,17 @@ std::size_t WfdPlacementCache::KeyHash::operator()(
   return h;
 }
 
-std::optional<bool> WfdPlacementCache::try_restore(Partition& part) const {
+std::optional<PlacementCache::Outcome> PlacementCache::try_restore(
+    Partition& part) const {
   const auto it = map_.find(key(part));
   if (it == map_.end()) return std::nullopt;
   part.restore_resource_assignment(it->second.second);
   return it->second.first;
 }
 
-void WfdPlacementCache::store(const Partition& part, bool feasible) {
+void PlacementCache::store(const Partition& part, const Outcome& outcome) {
   map_.emplace(key(part),
-               std::make_pair(feasible, part.resource_assignment()));
+               std::make_pair(outcome, part.resource_assignment()));
 }
 
 std::vector<int> analysis_priority_order(const TaskSet& ts) {
@@ -157,12 +189,36 @@ PartitionOutcome partition_and_analyze(const TaskSet& ts, int m,
   std::vector<std::optional<Time>> prev_result(n), result(n);
   bool have_prev = false;
 
+  const SparePolicy spare_policy = options.strategy
+                                       ? options.strategy->spare_policy()
+                                       : SparePolicy::kFirstFailure;
+  // Grants one spare processor to task i (promoting partitioned light
+  // tasks to a dedicated spare, growing dedicated clusters by one).
+  // Returns false — with out.failure set — when no spare remains.
+  const auto grant_spare = [&](int i) {
+    if (next_spare >= m) {
+      out.failure = "no spare processor left for task " +
+                    std::to_string(ts.task(i).id());
+      return false;
+    }
+    if (part.task_shares_processor(i)) {
+      part.set_cluster(i, {next_spare++});
+    } else {
+      part.add_processor_to_task(i, next_spare++);
+    }
+    return true;
+  };
+
   // Each round consumes at least one spare processor, so the loop runs at
   // most m - sum(m_i) + 1 <= m - 2n + 1 times for all-heavy sets (Sec. V).
   while (true) {
     ++out.rounds;
-    if (!place_resources(ts, part, options)) {
-      out.failure = "resource placement infeasible";
+    const PlacementCache::Outcome placed = place_resources(ts, part, options);
+    if (!placed.feasible) {
+      // An invalid placement (strategy bug caught by the validity gate)
+      // rejects before a single oracle query, with its own diagnostic.
+      out.failure = placed.invalid.empty() ? "resource placement infeasible"
+                                           : placed.invalid;
       out.partition = std::move(part);
       return out;
     }
@@ -178,6 +234,10 @@ PartitionOutcome partition_and_analyze(const TaskSet& ts, int m,
     // to the previous round's at the same position.
     bool hints_match = have_prev;
     bool all_ok = true;
+    // Largest deadline miss seen this round (SparePolicy::kMaxMiss only):
+    // bound minus deadline, kTimeInfinity for a diverging recurrence.
+    int worst_task = -1;
+    Time worst_miss = -1;
     for (int i : order) {
       const std::size_t ui = static_cast<std::size_t>(i);
       std::optional<Time> r;
@@ -203,21 +263,29 @@ PartitionOutcome partition_and_analyze(const TaskSet& ts, int m,
       // promoted to a dedicated spare.  Tasks with dedicated clusters
       // grow by one processor as in Algorithm 1.
       all_ok = false;
-      if (next_spare >= m) {
-        out.failure = "no spare processor left for task " +
-                      std::to_string(ts.task(i).id());
-        out.partition = std::move(part);
-        return out;
+      if (spare_policy == SparePolicy::kFirstFailure) {
+        if (!grant_spare(i)) {
+          out.partition = std::move(part);
+          return out;
+        }
+        break;  // rollback happens on re-entry via place_resources()
       }
-      if (part.task_shares_processor(i)) {
-        part.set_cluster(i, {next_spare++});
-      } else {
-        part.add_processor_to_task(i, next_spare++);
+      // kMaxMiss: finish the round (later tasks keep seeing D_i as this
+      // task's hint, exactly as they would after a first-failure break),
+      // then grant to the worst miss; ties stay with the earlier —
+      // higher-priority — task.
+      const Time miss = r ? *r - ts.task(i).deadline() : kTimeInfinity;
+      if (miss > worst_miss) {
+        worst_miss = miss;
+        worst_task = i;
       }
-      break;  // rollback happens on re-entry via place_resources()
     }
     if (all_ok) {
       out.schedulable = true;
+      out.partition = std::move(part);
+      return out;
+    }
+    if (spare_policy == SparePolicy::kMaxMiss && !grant_spare(worst_task)) {
       out.partition = std::move(part);
       return out;
     }

@@ -7,10 +7,14 @@
 //
 //   1. Give every task its minimum federated cluster; fail if they do not
 //      fit on m processors.
-//   2. Place global resources by WFD (protocols with remote execution only).
-//   3. Analyse tasks in decreasing priority order.  On the first failure,
-//      grant that task one spare processor, roll the resource placement
-//      back, and restart from step 2; fail when no spare remains.
+//   2. Place global resources (protocols with remote execution only) —
+//      WFD per Algorithm 2 by default, or any PlacementStrategy
+//      (partition/placement.hpp) via PartitionOptions::strategy.
+//   3. Analyse tasks in decreasing priority order.  On failure, grant one
+//      spare processor (to the first failing task, or to the worst
+//      deadline miss under SparePolicy::kMaxMiss), roll the resource
+//      placement back, and restart from step 2; fail when no spare
+//      remains.
 //
 // The oracle interface is *stateful* so analyses can amortize work across
 // the rounds of step 3: bind() announces each round's partition, and
@@ -28,6 +32,7 @@
 #include "model/taskset.hpp"
 #include "partition/federated.hpp"
 #include "partition/partition.hpp"
+#include "partition/placement.hpp"
 #include "partition/wfd.hpp"
 
 namespace dpcp {
@@ -88,22 +93,37 @@ class FunctionWcrtOracle final : public WcrtOracle {
   WcrtFn fn_;
 };
 
-/// Resource-placement policy; WFD is the paper's Algorithm 2, FIRST_FIT is
-/// an ablation baseline (decreasing utilization, first cluster that fits).
+/// Legacy resource-placement selector; kNone is still how local-execution
+/// protocols opt out of placement entirely, while kWfd/kFirstFitDecreasing
+/// are kept for direct callers.  New code selects a PlacementStrategy
+/// (partition/placement.hpp) through PartitionOptions::strategy, which
+/// overrides this enum for every placement-requiring run.
 enum class ResourcePlacement { kNone, kWfd, kFirstFitDecreasing };
 
-/// Memo of WFD placements keyed by the cluster shape — WFD's only
-/// partition-dependent input (the task set is fixed per session).  Owned
-/// by an AnalysisSession and shared by every analysis run on one task
-/// set: DPCP-p-EP and -EN walk identical early Algorithm-1 rounds, so
-/// their placements repeat and the second run restores them for free.
-class WfdPlacementCache {
+/// Memo of strategy placements keyed by the cluster shape — a placement's
+/// only partition-dependent input (the task set is fixed per session).
+/// Owned by an AnalysisSession, one per strategy cache_key(), and shared
+/// by every analysis run on one task set: DPCP-p-EP and -EN walk
+/// identical early Algorithm-1 rounds, so their placements repeat and the
+/// second run restores them for free.
+class PlacementCache {
  public:
+  /// What one placement run produced for a cluster shape.  Placement is a
+  /// pure function of the shape, so the validity-gate verdict computed on
+  /// the fresh run (see PartitionOptions::strategy) is cached alongside
+  /// and restored hits never re-validate.
+  struct Outcome {
+    bool feasible = false;
+    /// Partition::validate() diagnostic when the strategy claimed
+    /// feasibility but produced an invalid partition; empty otherwise.
+    std::string invalid;
+  };
+
   /// On a cluster-shape hit, restores the memoized placement into `part`
-  /// and returns its feasibility; nullopt on miss.
-  std::optional<bool> try_restore(Partition& part) const;
+  /// and returns its outcome; nullopt on miss.
+  std::optional<Outcome> try_restore(Partition& part) const;
   /// Records the placement just computed for `part`'s cluster shape.
-  void store(const Partition& part, bool feasible);
+  void store(const Partition& part, const Outcome& outcome);
 
  private:
   static std::vector<int> key(const Partition& part);
@@ -111,7 +131,7 @@ class WfdPlacementCache {
     std::size_t operator()(const std::vector<int>& v) const;
   };
   std::unordered_map<std::vector<int>,
-                     std::pair<bool, std::vector<ProcessorId>>, KeyHash>
+                     std::pair<Outcome, std::vector<ProcessorId>>, KeyHash>
       map_;
 };
 
@@ -131,12 +151,20 @@ struct PartitionOutcome {
 
 struct PartitionOptions {
   ResourcePlacement placement = ResourcePlacement::kWfd;
+  /// Pluggable placement strategy; when set (and `placement` is not
+  /// kNone) it replaces the enum's hard-coded placement, selects the
+  /// spare-granting policy, and every placement it produces is checked
+  /// with Partition::validate() *before* any analysis runs — an invalid
+  /// partition rejects the task set with a "produced an invalid
+  /// partition" failure instead of feeding the oracle garbage.
+  const PlacementStrategy* strategy = nullptr;
   /// Task indices in decreasing base-priority order, precomputed by the
   /// caller (e.g. an AnalysisSession shared across analyses); must equal
   /// analysis_priority_order(ts).  nullptr = computed internally.
   const std::vector<int>* priority_order = nullptr;
-  /// Optional WFD placement memo (session-owned); nullptr = no caching.
-  WfdPlacementCache* wfd_cache = nullptr;
+  /// Optional placement memo (session-owned, one per strategy
+  /// cache_key()); nullptr = no caching.
+  PlacementCache* placement_cache = nullptr;
 };
 
 /// Task indices sorted by decreasing base priority — the order Algorithm 1

@@ -1,0 +1,213 @@
+#include "partition/placement.hpp"
+
+#include <algorithm>
+
+#include "partition/partitioner.hpp"
+#include "partition/wfd.hpp"
+#include "util/table.hpp"
+
+namespace dpcp {
+namespace {
+
+/// Shared scaffolding of the decreasing-utilization placement family:
+/// per-cluster capacity/load bookkeeping, the global-resource ordering of
+/// Algorithm 2 (decreasing utilization, id tie-break), and the
+/// least-resource-load processor rule within the chosen cluster.  `choose`
+/// maps (resource utilization, capacity, load, request rates) to a cluster
+/// index, or -1 when no capacity-respecting cluster exists.
+template <typename Choose>
+bool place_decreasing(const TaskSet& ts, Partition& part, Choose choose) {
+  part.clear_resource_assignment();
+
+  const int n = ts.size();
+  std::vector<double> capacity(static_cast<std::size_t>(n));
+  std::vector<double> load(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    capacity[static_cast<std::size_t>(i)] =
+        static_cast<double>(part.cluster_size(i));
+    load[static_cast<std::size_t>(i)] = ts.task(i).utilization();
+  }
+  std::vector<double> proc_load(
+      static_cast<std::size_t>(part.num_processors()), 0.0);
+
+  std::vector<ResourceId> globals = ts.global_resources();
+  std::sort(globals.begin(), globals.end(), [&](ResourceId a, ResourceId b) {
+    const double ua = ts.resource_utilization(a);
+    const double ub = ts.resource_utilization(b);
+    if (ua != ub) return ua > ub;
+    return a < b;
+  });
+
+  for (ResourceId q : globals) {
+    const double uq = ts.resource_utilization(q);
+    const int chosen = choose(q, uq, capacity, load);
+    if (chosen < 0) return false;
+
+    ProcessorId target = Partition::kUnassigned;
+    double target_load = 0.0;
+    for (ProcessorId p : part.cluster(chosen)) {
+      const double lp = proc_load[static_cast<std::size_t>(p)];
+      if (target == Partition::kUnassigned || lp < target_load) {
+        target = p;
+        target_load = lp;
+      }
+    }
+    part.assign_resource(q, target);
+    proc_load[static_cast<std::size_t>(target)] += uq;
+    load[static_cast<std::size_t>(chosen)] += uq;
+  }
+  return true;
+}
+
+class WfdStrategy final : public PlacementStrategy {
+ public:
+  std::string name() const override { return "wfd"; }
+  bool place_resources(const TaskSet& ts, Partition& part) const override {
+    // Delegate to Algorithm 2 itself so the strategy path is
+    // call-for-call identical to the historical hard-coded one.
+    return wfd_assign_resources(ts, part).feasible;
+  }
+};
+
+class FfdStrategy final : public PlacementStrategy {
+ public:
+  std::string name() const override { return "ffd"; }
+  bool place_resources(const TaskSet& ts, Partition& part) const override {
+    return ffd_assign_resources(ts, part).feasible;
+  }
+};
+
+class BfdStrategy final : public PlacementStrategy {
+ public:
+  std::string name() const override { return "bfd"; }
+  bool place_resources(const TaskSet& ts, Partition& part) const override {
+    // Best fit: the cluster whose remaining slack is smallest among those
+    // that still fit the resource (the bin-packing dual of WFD's
+    // max-slack spreading).
+    return place_decreasing(
+        ts, part,
+        [&](ResourceId, double uq, const std::vector<double>& capacity,
+            const std::vector<double>& load) {
+          int best = -1;
+          double best_slack = 0.0;
+          for (int i = 0; i < ts.size(); ++i) {
+            const std::size_t ui = static_cast<std::size_t>(i);
+            if (part.cluster_size(i) == 0) continue;
+            const double slack = capacity[ui] - load[ui];
+            if (load[ui] + uq > capacity[ui]) continue;
+            if (best < 0 || slack < best_slack) {
+              best = i;
+              best_slack = slack;
+            }
+          }
+          return best;
+        });
+  }
+};
+
+class SyncAwareStrategy final : public PlacementStrategy {
+ public:
+  std::string name() const override { return "sync"; }
+  bool place_resources(const TaskSet& ts, Partition& part) const override {
+    // Synchronization-aware: co-locate each resource with the cluster
+    // generating the most requests per unit time for it (N_{i,q} / T_i),
+    // so the heaviest requester's agent traffic stays cluster-local.
+    // Capacity still rules: among clusters that fit, highest request rate
+    // wins; rate ties (including rate 0) break toward the lower index.
+    return place_decreasing(
+        ts, part,
+        [&](ResourceId q, double uq, const std::vector<double>& capacity,
+            const std::vector<double>& load) {
+          int best = -1;
+          double best_rate = -1.0;
+          for (int i = 0; i < ts.size(); ++i) {
+            const std::size_t ui = static_cast<std::size_t>(i);
+            if (part.cluster_size(i) == 0) continue;
+            if (load[ui] + uq > capacity[ui]) continue;
+            const double rate =
+                static_cast<double>(ts.task(i).usage(q).max_requests) /
+                static_cast<double>(ts.task(i).period());
+            if (rate > best_rate) {
+              best = i;
+              best_rate = rate;
+            }
+          }
+          return best;
+        });
+  }
+};
+
+class WfdMaxMissStrategy final : public PlacementStrategy {
+ public:
+  std::string name() const override { return "wfd-maxmiss"; }
+  bool place_resources(const TaskSet& ts, Partition& part) const override {
+    return wfd_assign_resources(ts, part).feasible;
+  }
+  SparePolicy spare_policy() const override { return SparePolicy::kMaxMiss; }
+  /// Same placement function as plain WFD: share its cluster-shape memo.
+  std::string cache_key() const override { return "wfd"; }
+};
+
+}  // namespace
+
+const PlacementStrategy& placement_strategy(PlacementKind kind) {
+  static const WfdStrategy wfd;
+  static const FfdStrategy ffd;
+  static const BfdStrategy bfd;
+  static const SyncAwareStrategy sync;
+  static const WfdMaxMissStrategy maxmiss;
+  switch (kind) {
+    case PlacementKind::kWfd: return wfd;
+    case PlacementKind::kFirstFit: return ffd;
+    case PlacementKind::kBestFit: return bfd;
+    case PlacementKind::kSyncAware: return sync;
+    case PlacementKind::kWfdMaxMiss: return maxmiss;
+  }
+  return wfd;
+}
+
+std::vector<PlacementKind> all_placement_kinds() {
+  return {PlacementKind::kWfd, PlacementKind::kFirstFit,
+          PlacementKind::kBestFit, PlacementKind::kSyncAware,
+          PlacementKind::kWfdMaxMiss};
+}
+
+std::string placement_kind_token(PlacementKind kind) {
+  return placement_strategy(kind).name();
+}
+
+std::optional<PlacementKind> placement_kind_from_token(
+    const std::string& token) {
+  for (PlacementKind kind : all_placement_kinds())
+    if (placement_kind_token(kind) == token) return kind;
+  return std::nullopt;
+}
+
+std::optional<std::vector<PlacementKind>> placements_from_spec(
+    const std::string& spec, std::string* error) {
+  std::vector<PlacementKind> out;
+  for (const std::string& token : split(spec, ',')) {
+    if (token == "all") {
+      const auto kinds = all_placement_kinds();
+      out.insert(out.end(), kinds.begin(), kinds.end());
+      continue;
+    }
+    const auto kind = placement_kind_from_token(token);
+    if (!kind) {
+      if (error)
+        *error = strfmt(
+            "unknown placement strategy '%s' "
+            "(expect all | wfd | ffd | bfd | sync | wfd-maxmiss)",
+            token.c_str());
+      return std::nullopt;
+    }
+    out.push_back(*kind);
+  }
+  if (out.empty()) {
+    if (error) *error = "empty placement spec";
+    return std::nullopt;
+  }
+  return out;
+}
+
+}  // namespace dpcp

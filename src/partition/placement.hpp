@@ -1,0 +1,97 @@
+// Pluggable placement strategies for Algorithm 1.
+//
+// The paper pins Algorithm 2 to worst-fit-decreasing resource placement
+// and Algorithm 1 to a first-failure spare-granting policy, but both are
+// heuristics: the analysis stack is partition-generic (WcrtOracle), so any
+// placement that respects the capacity invariants yields a sound
+// schedulability test.  A PlacementStrategy bundles the two policy knobs
+// of one Algorithm-1 variant:
+//
+//   * resource placement — where each global resource's agent lives
+//     (Algorithm 2's slot in the loop);
+//   * spare granting     — which failing task receives the next spare
+//     processor when a round rejects.
+//
+// Strategies are stateless and deterministic: place_resources() must be a
+// pure function of (task set, cluster shape), which is what makes the
+// session-level PlacementCache (keyed by cache_key() + cluster shape) and
+// the engine's thread-count-independent sweeps sound.  Every strategy's
+// output is checked against Partition::validate() by partition_and_analyze
+// before any analysis runs, so a buggy strategy is rejected, not silently
+// analysed.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/taskset.hpp"
+#include "partition/partition.hpp"
+
+namespace dpcp {
+
+/// Which failing task Algorithm 1 grants the next spare processor to.
+enum class SparePolicy {
+  /// The paper's rule: the first (highest-priority) task that fails the
+  /// round; the rest of the round is not analysed.
+  kFirstFailure,
+  /// Finish the round and grant to the task with the largest deadline
+  /// miss (WCRT bound minus deadline; a diverging recurrence counts as an
+  /// infinite miss).  Ties go to the higher-priority task.
+  kMaxMiss,
+};
+
+class PlacementStrategy {
+ public:
+  virtual ~PlacementStrategy() = default;
+
+  /// CLI-facing token, e.g. "wfd" — also the display suffix of sweep
+  /// columns when a placement axis is active ("DPCP-p-EP@wfd").
+  virtual std::string name() const = 0;
+
+  /// Places every global resource of `ts` onto a processor of `part`
+  /// (clearing any previous placement first); cluster membership is not
+  /// modified.  Returns false when no capacity-respecting placement
+  /// exists.  Must be deterministic in (ts, cluster shape).
+  virtual bool place_resources(const TaskSet& ts, Partition& part) const = 0;
+
+  /// Spare-granting policy of the Algorithm-1 loop.
+  virtual SparePolicy spare_policy() const { return SparePolicy::kFirstFailure; }
+
+  /// Identity of the resource-placement *function* for session-level
+  /// placement memos: two strategies with equal cache keys must compute
+  /// identical placements for identical cluster shapes (e.g. the max-miss
+  /// variant shares the "wfd" key with plain WFD).
+  virtual std::string cache_key() const { return name(); }
+};
+
+/// The built-in strategies, in sweep-axis display order.
+enum class PlacementKind {
+  kWfd,         // Algorithm 2: worst-fit decreasing (the paper's default)
+  kFirstFit,    // first-fit decreasing (ablation baseline)
+  kBestFit,     // best-fit decreasing: tightest cluster that still fits
+  kSyncAware,   // co-locate with the cluster requesting most often
+  kWfdMaxMiss,  // WFD placement + max-deadline-miss spare granting
+};
+
+/// The shared immutable instance of `kind` (strategies are stateless).
+const PlacementStrategy& placement_strategy(PlacementKind kind);
+
+/// All built-in strategies, in enum order.
+std::vector<PlacementKind> all_placement_kinds();
+
+/// CLI token of `kind`: wfd | ffd | bfd | sync | wfd-maxmiss.
+std::string placement_kind_token(PlacementKind kind);
+
+/// Inverse of placement_kind_token(); nullopt on an unknown token.
+std::optional<PlacementKind> placement_kind_from_token(
+    const std::string& token);
+
+/// Parses a driver-facing placement-axis spec: a comma-separated list of
+/// strategy tokens, or "all" for every built-in strategy.  Returns nullopt
+/// and sets `error` on an unknown token — drivers must treat that as a
+/// hard usage error, never a silent default.
+std::optional<std::vector<PlacementKind>> placements_from_spec(
+    const std::string& spec, std::string* error = nullptr);
+
+}  // namespace dpcp

@@ -52,6 +52,35 @@ TEST(Golden, AcceptanceCountsThreeScenariosAllAnalyses) {
             (Grid{{7, 1}, {3, 1}, {4, 1}, {4, 1}, {8, 7}}));
 }
 
+// One small sweep per placement strategy, pinned: DPCP-p-EP over the
+// Fig. 2(a)/(c) scenarios at utilization points where the strategies
+// actually diverge (WFD != FFD != BFD != sync here), so a silent change
+// to any strategy's choice rule shows up as a count shift.  Counts
+// recorded from the strategies' introducing commit.
+TEST(Golden, PerPlacementStrategyAcceptanceCounts) {
+  SweepOptions options;
+  options.samples_per_point = 10;
+  options.seed = 42;
+  options.norm_utilizations = {0.5, 0.55};
+  options.placements = all_placement_kinds();
+  const SweepResult result =
+      run_sweep({fig2_scenario('a'), fig2_scenario('c')},
+                {AnalysisKind::kDpcpPEp}, options);
+
+  ASSERT_EQ(result.curves.size(), 2u);
+  ASSERT_EQ(result.curves[0].names,
+            (std::vector<std::string>{
+                "DPCP-p-EP@wfd", "DPCP-p-EP@ffd", "DPCP-p-EP@bfd",
+                "DPCP-p-EP@sync", "DPCP-p-EP@wfd-maxmiss"}));
+  using Grid = std::vector<std::vector<std::int64_t>>;
+  // accepted[strategy][point]; strategy order wfd, ffd, bfd, sync,
+  // wfd-maxmiss.
+  EXPECT_EQ(result.curves[0].accepted,
+            (Grid{{2, 3}, {1, 2}, {0, 1}, {2, 4}, {2, 3}}));
+  EXPECT_EQ(result.curves[1].accepted,
+            (Grid{{2, 0}, {1, 1}, {2, 0}, {3, 0}, {2, 0}}));
+}
+
 // The full 216-scenario grid at 1 sample/point, seed 42: the long-format
 // CSV must stay byte-identical to the pre-refactor output (hash and size
 // recorded from commit bc24c1f).  This is the bit-exactness contract of

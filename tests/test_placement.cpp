@@ -1,0 +1,404 @@
+// Tests for the pluggable placement strategies (partition/placement.hpp):
+// property-based partition invariants (every strategy, randomized task
+// sets across scenario corners, validity + determinism), differential
+// equivalence of the WFD/FFD strategies with the historical hard-coded
+// functions, the max-miss spare-granting policy, the engine's placement
+// axis (column layout, paired task sets, thread-count byte-identity), and
+// the --placement spec parser's error paths.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "exp/engine.hpp"
+#include "exp/grid.hpp"
+#include "exp/report.hpp"
+#include "gen/taskset_gen.hpp"
+#include "partition/federated.hpp"
+#include "partition/partitioner.hpp"
+#include "partition/placement.hpp"
+#include "partition/wfd.hpp"
+
+namespace dpcp {
+namespace {
+
+/// Scenario corners of the paper's grid: extremes of processor count,
+/// resource count, utilization, request probability, request count, and
+/// critical-section length.
+std::vector<Scenario> scenario_corners() {
+  Scenario small;
+  small.m = 8;
+  small.nr_min = 2;
+  small.nr_max = 4;
+  small.u_avg = 1.5;
+  small.p_r = 0.5;
+  small.n_req_max = 25;
+  small.cs_min = micros(15);
+  small.cs_max = micros(50);
+
+  Scenario dense = small;
+  dense.nr_min = 8;
+  dense.nr_max = 16;
+  dense.u_avg = 2.0;
+  dense.p_r = 1.0;
+  dense.n_req_max = 50;
+  dense.cs_min = micros(50);
+  dense.cs_max = micros(100);
+
+  Scenario mid;
+  mid.m = 16;
+  mid.nr_min = 4;
+  mid.nr_max = 8;
+  mid.u_avg = 1.5;
+  mid.p_r = 0.75;
+  mid.n_req_max = 50;
+  mid.cs_min = micros(50);
+  mid.cs_max = micros(100);
+
+  Scenario wide = mid;
+  wide.nr_min = 8;
+  wide.nr_max = 16;
+  wide.u_avg = 2.0;
+  wide.p_r = 0.5;
+  wide.n_req_max = 25;
+  wide.cs_min = micros(15);
+  wide.cs_max = micros(50);
+
+  return {small, dense, mid, wide};
+}
+
+// ---------- property: validity and determinism of every strategy ----------
+
+TEST(PlacementProperty, EveryStrategyValidAndDeterministicOn200Sets) {
+  const auto corners = scenario_corners();
+  const auto kinds = all_placement_kinds();
+  int generated = 0, placed = 0;
+  for (std::size_t c = 0; c < corners.size(); ++c) {
+    for (int seed = 0; seed < 50; ++seed) {
+      Rng rng(10'000 + 1'000 * static_cast<std::uint64_t>(c) +
+              static_cast<std::uint64_t>(seed));
+      GenParams params;
+      params.scenario = corners[c];
+      // Spread the corners over the utilization range too.
+      params.total_utilization = (0.25 + 0.05 * (seed % 8)) * corners[c].m;
+      const auto ts = generate_taskset(rng, params);
+      ASSERT_TRUE(ts.has_value());
+      ++generated;
+      const auto initial = initial_federated_partition(*ts, corners[c].m);
+      if (!initial) continue;
+
+      for (PlacementKind kind : kinds) {
+        const PlacementStrategy& strategy = placement_strategy(kind);
+        Partition part = *initial;
+        const bool feasible = strategy.place_resources(*ts, part);
+        // Determinism: the same (task set, cluster shape) must yield the
+        // same placement, bit for bit.
+        Partition again = *initial;
+        EXPECT_EQ(strategy.place_resources(*ts, again), feasible);
+        EXPECT_EQ(part.resource_assignment(), again.resource_assignment())
+            << strategy.name();
+        if (!feasible) continue;
+        ++placed;
+        const auto err = part.validate(*ts);
+        EXPECT_FALSE(err.has_value())
+            << strategy.name() << ": " << *err << "\n"
+            << part.to_string();
+        for (ResourceId q : ts->global_resources())
+          EXPECT_NE(part.processor_of_resource(q), Partition::kUnassigned)
+              << strategy.name() << " left global resource " << q
+              << " unplaced";
+      }
+    }
+  }
+  EXPECT_EQ(generated, 200);
+  EXPECT_GT(placed, 100);  // the property must actually be exercised
+}
+
+TEST(PlacementProperty, EndToEndPartitionsValidAndDeterministic) {
+  // Drive the full Algorithm-1 loop (spare grants, placement rollback,
+  // both spare policies) with a partition-sensitive oracle: the federated
+  // bound plus a penalty per critical-section demand hosted on the
+  // cluster.  Schedulable outcomes must carry valid partitions, and a
+  // rerun must reproduce them exactly.
+  WcrtFn oracle = [](const TaskSet& ts, const Partition& p, int i,
+                     const std::vector<Time>&) -> std::optional<Time> {
+    Time bound = federated_wcrt_bound(ts.task(i), p.cluster_size(i));
+    for (ResourceId q : p.resources_on_cluster(i))
+      bound += ts.resource_utilization(q) > 0.0
+                   ? ts.task(i).usage(q).demand() / 2 + micros(10)
+                   : 0;
+    return bound;
+  };
+  const auto corners = scenario_corners();
+  int schedulable = 0;
+  for (int seed = 0; seed < 5; ++seed) {
+    for (const Scenario& sc : corners) {
+      Rng rng(777 + static_cast<std::uint64_t>(seed));
+      GenParams params;
+      params.scenario = sc;
+      params.total_utilization = 0.4 * sc.m;
+      const auto ts = generate_taskset(rng, params);
+      ASSERT_TRUE(ts.has_value());
+      for (PlacementKind kind : all_placement_kinds()) {
+        PartitionOptions options;
+        options.strategy = &placement_strategy(kind);
+        const auto out = partition_and_analyze(*ts, sc.m, oracle, options);
+        const auto rerun = partition_and_analyze(*ts, sc.m, oracle, options);
+        EXPECT_EQ(out.schedulable, rerun.schedulable);
+        EXPECT_EQ(out.partition.to_string(), rerun.partition.to_string());
+        EXPECT_EQ(out.wcrt, rerun.wcrt);
+        if (!out.schedulable) continue;
+        ++schedulable;
+        const auto err = out.partition.validate(*ts);
+        EXPECT_FALSE(err.has_value())
+            << placement_strategy(kind).name() << ": " << *err;
+      }
+    }
+  }
+  EXPECT_GT(schedulable, 0);
+}
+
+TEST(PlacementProperty, ValidateBoundsResourceLoadOnSharedProcessors) {
+  // Two light tasks packed on one processor, a global resource placed
+  // there too.  The strategies account resources per unit cluster, so the
+  // joint guarantee is aggregate: task + resource load <= co-hosted task
+  // count.  A resource pushing past that bound is invalid; one within it
+  // is legitimate (Algorithm 2 itself produces such placements in the
+  // Sec. VI mixed setting).
+  const auto shared_fixture = [](Time cs_length) {
+    TaskSet ts(1);
+    for (int k = 0; k < 2; ++k) {
+      DagTask& t = ts.add_task(100, 100);
+      t.add_vertex(45, {1});
+      t.set_cs_length(0, cs_length);
+    }
+    ts.assign_rm_priorities();
+    ts.finalize();
+    Partition part(2, 2, 1);
+    part.add_processor_to_task(0, 0);
+    part.add_processor_to_task(1, 0);  // shared unit clusters
+    part.assign_resource(0, 0);
+    return std::make_pair(std::move(ts), std::move(part));
+  };
+
+  // u_task = 0.9 total; resource utilization 2*40/100 = 0.8: 1.7 <= 2.
+  auto [ok_ts, ok_part] = shared_fixture(40);
+  EXPECT_FALSE(ok_part.validate(ok_ts).has_value());
+
+  // Resource utilization 2*65/100 = 1.3: 0.9 + 1.3 = 2.2 > 2 -> invalid.
+  auto [bad_ts, bad_part] = shared_fixture(65);
+  const auto err = bad_part.validate(bad_ts);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("over capacity"), std::string::npos) << *err;
+}
+
+// ---------- differential: strategies vs the historical functions ----------
+
+TEST(PlacementDifferential, WfdAndFfdStrategiesMatchLegacyFunctions) {
+  for (int seed = 0; seed < 20; ++seed) {
+    Rng rng(4'200 + static_cast<std::uint64_t>(seed));
+    GenParams params;
+    params.scenario.p_r = 0.75;
+    params.total_utilization = 6.0;
+    const auto ts = generate_taskset(rng, params);
+    ASSERT_TRUE(ts.has_value());
+    const auto initial = initial_federated_partition(*ts, 16);
+    ASSERT_TRUE(initial.has_value());
+
+    Partition via_strategy = *initial;
+    Partition via_function = *initial;
+    EXPECT_EQ(placement_strategy(PlacementKind::kWfd)
+                  .place_resources(*ts, via_strategy),
+              wfd_assign_resources(*ts, via_function).feasible);
+    EXPECT_EQ(via_strategy.resource_assignment(),
+              via_function.resource_assignment());
+
+    via_strategy = *initial;
+    via_function = *initial;
+    EXPECT_EQ(placement_strategy(PlacementKind::kFirstFit)
+                  .place_resources(*ts, via_strategy),
+              ffd_assign_resources(*ts, via_function).feasible);
+    EXPECT_EQ(via_strategy.resource_assignment(),
+              via_function.resource_assignment());
+  }
+}
+
+TEST(PlacementDifferential, DefaultSweepUnchangedByExplicitWfdAxis) {
+  // Routing the default WFD through the placement axis must not change a
+  // single acceptance count — only the column names gain the @wfd suffix.
+  Scenario sc;
+  sc.m = 8;
+  sc.nr_min = 2;
+  sc.nr_max = 4;
+  SweepOptions options;
+  options.samples_per_point = 6;
+  options.seed = 99;
+  options.norm_utilizations = {0.3, 0.5};
+  const SweepResult plain =
+      run_sweep({sc}, {AnalysisKind::kDpcpPEp, AnalysisKind::kFedFp}, options);
+  options.placements = {PlacementKind::kWfd};
+  const SweepResult axis =
+      run_sweep({sc}, {AnalysisKind::kDpcpPEp, AnalysisKind::kFedFp}, options);
+
+  EXPECT_FALSE(plain.placement_axis);
+  EXPECT_TRUE(axis.placement_axis);
+  ASSERT_EQ(axis.curves.size(), 1u);
+  EXPECT_EQ(plain.curves[0].accepted, axis.curves[0].accepted);
+  EXPECT_EQ(plain.curves[0].samples, axis.curves[0].samples);
+  EXPECT_EQ(plain.curves[0].names,
+            (std::vector<std::string>{"DPCP-p-EP", "FED-FP"}));
+  EXPECT_EQ(axis.curves[0].names,
+            (std::vector<std::string>{"DPCP-p-EP@wfd", "FED-FP"}));
+  EXPECT_EQ(axis.column_placement, (std::vector<std::string>{"wfd", ""}));
+}
+
+// ---------- spare policy -----------------------------------------------------
+
+/// A heavy task with C = `wcet`, L* = `lstar`, T = D = `period`.
+DagTask& add_heavy_task(TaskSet& ts, Time period, Time wcet, Time lstar) {
+  DagTask& t = ts.add_task(period, period);
+  const Time head = lstar / 2;
+  t.add_vertex(head);
+  t.add_vertex(lstar - head);
+  t.graph().add_edge(0, 1);
+  for (Time rest = wcet - lstar; rest > 0; rest -= std::min(rest, head))
+    t.add_vertex(std::min(rest, head));
+  return t;
+}
+
+TEST(SparePolicy, MaxMissGrantsToLargestMissFirstFailureToFirst) {
+  TaskSet ts(0);
+  add_heavy_task(ts, 20, 30, 10);  // task 0: longer period, lower priority
+  add_heavy_task(ts, 10, 15, 4);   // task 1: higher priority
+  ts.assign_rm_priorities();
+  ts.finalize();
+
+  // Any 2-processor cluster misses its deadline — task 0 by 50, task 1 by
+  // 5 — and a 3-processor cluster is schedulable.
+  std::vector<int> analysed;  // call trace across rounds
+  WcrtFn oracle = [&](const TaskSet& t, const Partition& p, int i,
+                      const std::vector<Time>&) -> std::optional<Time> {
+    analysed.push_back(i);
+    if (p.cluster_size(i) >= 3) return t.task(i).deadline() - 1;
+    return t.task(i).deadline() + (i == 0 ? 50 : 5);
+  };
+
+  PartitionOptions first_failure;
+  first_failure.strategy = &placement_strategy(PlacementKind::kWfd);
+  const auto ff = partition_and_analyze(ts, 8, oracle, first_failure);
+  EXPECT_TRUE(ff.schedulable);
+  // Round 1 stops at the first failure: the high-priority task 1.
+  const std::vector<int> ff_trace = analysed;
+  ASSERT_GE(ff_trace.size(), 2u);
+  EXPECT_EQ(ff_trace[0], 1);
+  EXPECT_EQ(ff_trace[1], 1);  // round 2 re-analyses task 1 first
+
+  analysed.clear();
+  PartitionOptions max_miss;
+  max_miss.strategy = &placement_strategy(PlacementKind::kWfdMaxMiss);
+  const auto mm = partition_and_analyze(ts, 8, oracle, max_miss);
+  EXPECT_TRUE(mm.schedulable);
+  // Round 1 analyses the whole round (both tasks), then grants to task 0
+  // — the 50-tick miss — not to the first-failing task 1.
+  const std::vector<int> mm_trace = analysed;
+  ASSERT_GE(mm_trace.size(), 4u);
+  EXPECT_EQ(mm_trace[0], 1);
+  EXPECT_EQ(mm_trace[1], 0);
+  // Round 2: task 1 still fails (its cluster did not grow) while task 0
+  // now passes — so task 0's cluster reached 3 processors first.
+  EXPECT_EQ(mm.partition.cluster_size(0), 3);
+  EXPECT_EQ(mm.partition.cluster_size(1), 3);
+  EXPECT_EQ(ff.partition.cluster_size(0), 3);
+  EXPECT_EQ(ff.partition.cluster_size(1), 3);
+  // The max-miss rounds analyse every task, so the trace is longer.
+  EXPECT_GT(mm_trace.size(), ff_trace.size());
+}
+
+// ---------- engine placement axis ------------------------------------------
+
+TEST(PlacementAxis, ColumnsAndThreadCountByteIdentity) {
+  Scenario sc;
+  sc.m = 8;
+  sc.nr_min = 2;
+  sc.nr_max = 4;
+  sc.p_r = 1.0;
+  SweepOptions options;
+  options.samples_per_point = 5;
+  options.seed = 7;
+  options.norm_utilizations = {0.3, 0.5};
+  options.placements = all_placement_kinds();
+  const std::vector<AnalysisKind> kinds{AnalysisKind::kDpcpPEp,
+                                        AnalysisKind::kFedFp};
+  options.threads = 1;
+  const SweepResult one = run_sweep({sc}, kinds, options);
+  options.threads = 8;
+  const SweepResult eight = run_sweep({sc}, kinds, options);
+
+  // Placement-requiring EP fans out; placement-insensitive FED-FP stays
+  // one bare column.
+  ASSERT_EQ(one.curves[0].names.size(), 6u);
+  EXPECT_EQ(one.curves[0].names[0], "DPCP-p-EP@wfd");
+  EXPECT_EQ(one.curves[0].names[4], "DPCP-p-EP@wfd-maxmiss");
+  EXPECT_EQ(one.curves[0].names[5], "FED-FP");
+  EXPECT_EQ(one.column_analysis,
+            (std::vector<std::string>{"DPCP-p-EP", "DPCP-p-EP", "DPCP-p-EP",
+                                      "DPCP-p-EP", "DPCP-p-EP", "FED-FP"}));
+  EXPECT_EQ(one.column_placement,
+            (std::vector<std::string>{"wfd", "ffd", "bfd", "sync",
+                                      "wfd-maxmiss", ""}));
+
+  // Byte-identical artifacts at any worker-thread count.
+  EXPECT_EQ(one.curves[0].accepted, eight.curves[0].accepted);
+  EXPECT_EQ(sweep_to_csv(one), sweep_to_csv(eight));
+  EXPECT_EQ(sweep_to_json(one), sweep_to_json(eight));
+
+  // The placement-axis CSV carries the placement column; the JSON carries
+  // the per-strategy acceptance deltas.
+  EXPECT_NE(sweep_to_csv(one).find(",placement,"), std::string::npos);
+  EXPECT_NE(sweep_to_json(one).find("\"placement_deltas\""),
+            std::string::npos);
+}
+
+// ---------- spec parsing -----------------------------------------------------
+
+TEST(PlacementSpec, TokensRoundTrip) {
+  for (PlacementKind kind : all_placement_kinds())
+    EXPECT_EQ(placement_kind_from_token(placement_kind_token(kind)), kind);
+  EXPECT_FALSE(placement_kind_from_token("worst-fit").has_value());
+}
+
+TEST(PlacementSpec, ParsesListsAndAll) {
+  const auto all = placements_from_spec("all");
+  ASSERT_TRUE(all.has_value());
+  EXPECT_EQ(*all, all_placement_kinds());
+  const auto pair = placements_from_spec("sync,wfd-maxmiss");
+  ASSERT_TRUE(pair.has_value());
+  EXPECT_EQ(*pair, (std::vector<PlacementKind>{PlacementKind::kSyncAware,
+                                               PlacementKind::kWfdMaxMiss}));
+}
+
+TEST(PlacementSpec, UnknownTokenIsAHardErrorWithAMessage) {
+  std::string error;
+  EXPECT_FALSE(placements_from_spec("wfd,bogus", &error).has_value());
+  EXPECT_NE(error.find("unknown placement strategy 'bogus'"),
+            std::string::npos);
+  error.clear();
+  EXPECT_FALSE(placements_from_spec("", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(PlacementSpec, ScenarioSpecErrorPathsStillReject) {
+  // The --placement parser shares the split-and-validate idiom with
+  // scenarios_from_spec; pin the latter's error paths alongside.
+  std::string error;
+  EXPECT_FALSE(scenarios_from_spec("first:-3", &error).has_value());
+  EXPECT_NE(error.find("bad scenario count"), std::string::npos);
+  error.clear();
+  EXPECT_FALSE(scenarios_from_spec("first:2x", &error).has_value());
+  EXPECT_NE(error.find("bad scenario count"), std::string::npos);
+  error.clear();
+  EXPECT_FALSE(scenarios_from_spec("fig2,unknown", &error).has_value());
+  EXPECT_NE(error.find("unknown scenario spec"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dpcp

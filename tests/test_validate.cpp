@@ -175,6 +175,55 @@ TEST(Validate, CrossCheckAcceptsSoundClaim) {
   EXPECT_EQ(cc.ratios[0].second, 100);
 }
 
+// A deliberately broken placement strategy: dumps every global resource
+// onto processor 0 and claims feasibility regardless of capacity.  The
+// partitioner's validity gate must reject the partition *before* a single
+// oracle query — the analysis never sees the over-committed placement.
+class OverloadEverythingStrategy final : public PlacementStrategy {
+ public:
+  std::string name() const override { return "overload"; }
+  bool place_resources(const TaskSet& ts, Partition& part) const override {
+    part.clear_resource_assignment();
+    for (ResourceId q : ts.global_resources()) part.assign_resource(q, 0);
+    return true;  // a lie whenever processor 0's cluster lacks the slack
+  }
+};
+
+TEST(Validate, CapacityViolatingStrategyRejectedBeforeAnalysis) {
+  // Two heavy tasks (U = 1.5 on 2-processor clusters, slack 0.5 each)
+  // sharing a global resource of utilization 1.0: no cluster can host it,
+  // and the overload strategy places it anyway.
+  TaskSet ts(1);
+  for (int k = 0; k < 2; ++k) {
+    DagTask& t = ts.add_task(100, 100);
+    for (int v = 0; v < 10; ++v) t.add_vertex(5, {1});
+    for (int v = 0; v < 100; ++v) t.add_vertex(1);
+    t.set_cs_length(0, 5);
+  }
+  ts.assign_rm_priorities();
+  ts.finalize();
+
+  int oracle_calls = 0;
+  WcrtFn oracle = [&](const TaskSet&, const Partition&, int,
+                      const std::vector<Time>&) -> std::optional<Time> {
+    ++oracle_calls;
+    return 1;
+  };
+  const OverloadEverythingStrategy overload;
+  PartitionOptions options;
+  options.strategy = &overload;
+  const auto out = partition_and_analyze(ts, 4, oracle, options);
+  EXPECT_FALSE(out.schedulable);
+  EXPECT_NE(out.failure.find("placement strategy 'overload' produced an "
+                             "invalid partition"),
+            std::string::npos)
+      << out.failure;
+  EXPECT_NE(out.failure.find("over capacity"), std::string::npos)
+      << out.failure;
+  EXPECT_EQ(oracle_calls, 0);
+  EXPECT_EQ(out.oracle_calls, 0);
+}
+
 TEST(Validate, SampleSimConfigWorstModeIsDeterministic) {
   TaskSet ts(0);
   ts.add_task(millis(10), millis(10)).add_vertex(millis(1));
