@@ -11,6 +11,10 @@
 //      show when the envelope fallback starts to bite.
 //  A4. Spare granting: Algorithm 1's first-failure rule vs granting to
 //      the task with the largest deadline miss.
+//  A5. Partition search: seed-only (best of all placement strategies,
+//      no local search) vs the optimizer restricted to each move class
+//      alone vs the full move vocabulary -- which neighbourhood actually
+//      buys the acceptance gain.
 //
 // Usage: bench_ablation   (env: DPCP_SAMPLES, default 60)
 #include <cstdio>
@@ -46,6 +50,33 @@ double acceptance(const Scenario& sc, double util, int samples,
     ++total;
     if (partition_and_analyze(*ts, sc.m, oracle, options).schedulable)
       ++accepted;
+  }
+  return total ? static_cast<double>(accepted) / total : 0.0;
+}
+
+/// Acceptance of the optimizer at one utilization point with the given
+/// move mask (kAllMoves, one class, or 0 for seed-only), seeded from
+/// every placement strategy.  Budget fixed at 200 evaluations.
+double opt_acceptance(const Scenario& sc, double util, int samples,
+                      unsigned move_mask) {
+  const auto analysis = make_analysis(AnalysisKind::kDpcpPEp);
+  OptOptions opt;
+  opt.max_evals = move_mask == 0 ? 0 : 200;
+  opt.move_mask = move_mask;
+  Rng root(99);
+  int accepted = 0, total = 0;
+  for (int s = 0; s < samples; ++s) {
+    Rng rng = root.fork(static_cast<std::uint64_t>(s));
+    GenParams params;
+    params.scenario = sc;
+    params.total_utilization = util;
+    const auto ts = generate_taskset(rng, params);
+    if (!ts) continue;
+    ++total;
+    AnalysisSession session(*ts);
+    const OptimizeOutcome out = analysis->optimize(
+        session, sc.m, all_placement_kinds(), rng.fork(0x4F5054ull), opt);
+    if (out.outcome.schedulable) ++accepted;
   }
   return total ? static_cast<double>(accepted) / total : 0.0;
 }
@@ -111,6 +142,27 @@ int main() {
                   acceptance(sc, u, samples, PlacementKind::kWfd, 20'000)),
            strfmt("%.3f", acceptance(sc, u, samples,
                                      PlacementKind::kWfdMaxMiss, 20'000))});
+    }
+    std::fputs(t.to_text().c_str(), stdout);
+  }
+
+  std::printf("\n=== A5: partition search: seed-only vs each move class "
+              "(DPCP-p-EP, opt@200, all-strategy seeds) ===\n");
+  {
+    Table t({"norm-util", "seed-only", "regrant", "relocate", "widen",
+             "narrow", "swap", "all"});
+    for (double nu : {0.4, 0.45, 0.5, 0.55}) {
+      const double u = nu * sc.m;
+      std::vector<std::string> row{strfmt("%.2f", nu),
+                                   strfmt("%.3f", opt_acceptance(sc, u,
+                                                                 samples, 0))};
+      for (int k = 0; k < kNumMoveKinds; ++k)
+        row.push_back(strfmt(
+            "%.3f", opt_acceptance(sc, u, samples,
+                                   move_bit(static_cast<MoveKind>(k)))));
+      row.push_back(strfmt("%.3f", opt_acceptance(sc, u, samples,
+                                                  kAllMoves)));
+      t.add_row(std::move(row));
     }
     std::fputs(t.to_text().c_str(), stdout);
   }

@@ -1,0 +1,198 @@
+// Cost and yield of the anytime partition-search optimizer: times the
+// same sweep one-shot (the paper's WFD pipeline) and with the
+// opt@<budget> column at several evaluation budgets, reporting evals/sec
+// (the optimizer's throughput through the incremental prepared-analysis
+// oracle), the per-budget acceptance gain over that one-shot WFD
+// baseline (all-strategy seeding and local search combined; the sweep
+// JSON's "opt_gains" separates the two and compares against the best
+// strategy instead), and the oracle-level reuse rate (per-task
+// re-analyses skipped via task_unchanged()) — so both the cost curve of
+// --optimize and the incremental machinery's effectiveness are tracked
+// per commit.
+//
+// Usage: bench_opt [scenario_count] [--json PATH]
+//        (env: DPCP_SAMPLES default 20, DPCP_SEED, DPCP_THREADS)
+//
+// --json writes a machine-readable summary (scenario count, wall times,
+// evals, evals/sec, accept totals) consumed by the CI release-sweep job's
+// BENCH_sweep.json artifact.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/dpcp.hpp"
+#include "io/taskset_io.hpp"
+#include "util/parse.hpp"
+
+using namespace dpcp;
+
+namespace {
+
+double run_timed(const std::vector<Scenario>& scenarios,
+                 const std::vector<AnalysisKind>& kinds,
+                 const SweepOptions& options, SweepResult* out) {
+  const auto start = std::chrono::steady_clock::now();
+  *out = run_sweep(scenarios, kinds, options);
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+std::int64_t column_total(const SweepResult& result, std::size_t a) {
+  std::int64_t total = 0;
+  for (const AcceptanceCurve& curve : result.curves)
+    for (std::size_t p = 0; p < curve.utilization.size(); ++p)
+      total += curve.accepted[a][p];
+  return total;
+}
+
+std::int64_t opt_evals_total(const SweepResult& result) {
+  std::int64_t total = 0;
+  for (const auto& per_scenario : result.opt_stats)
+    for (const auto& per_column : per_scenario)
+      for (const OptPointStats& op : per_column) total += op.evals;
+  return total;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int scenario_count = 4;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+      continue;
+    }
+    const auto v = parse_int(arg, 1, 216);
+    if (!v) {
+      std::fprintf(stderr,
+                   "bench_opt: expected a scenario count 1..216 or "
+                   "--json PATH, got '%s'\n",
+                   arg.c_str());
+      return 2;
+    }
+    scenario_count = static_cast<int>(*v);
+  }
+  SweepOptions options = sweep_options_from_env(/*default_samples=*/20);
+
+  std::vector<Scenario> scenarios = all_scenarios();
+  scenarios.resize(static_cast<std::size_t>(scenario_count));
+  // DPCP-p-EP: the placement-requiring analysis whose opt column the
+  // acceptance criterion tracks.
+  const std::vector<AnalysisKind> kinds{AnalysisKind::kDpcpPEp};
+
+  std::printf(
+      "=== Anytime partition search: cost/yield over first %d scenario(s), "
+      "%d samples/point ===\n",
+      scenario_count, options.samples_per_point);
+
+  SweepResult baseline;
+  const double t_base = run_timed(scenarios, kinds, options, &baseline);
+  const std::int64_t base_accepted = column_total(baseline, 0);
+  std::printf("one-shot WFD: %.2fs, %lld accepted\n", t_base,
+              static_cast<long long>(base_accepted));
+
+  // evals/sec is evals over the opt run's own wall clock: it slightly
+  // understates pure search throughput (the run also generates task sets
+  // and computes the one-shot column), but it is a stable single-run
+  // metric — differencing two independently timed runs is dominated by
+  // run-to-run variance whenever the search is a small fraction of the
+  // sweep, and the CI trajectory needs a number that survives noise.
+  Table table({"budget", "time", "overhead", "evals", "evals/sec",
+               "accepted", "gain-vs-wfd"});
+  double t200 = 0.0;
+  std::int64_t evals200 = 0, accepted200 = 0;
+  for (std::int64_t budget : {50LL, 200LL, 800LL}) {
+    SweepOptions opt_options = options;
+    opt_options.optimize_evals = budget;
+    SweepResult result;
+    const double t = run_timed(scenarios, kinds, opt_options, &result);
+    const std::int64_t evals = opt_evals_total(result);
+    const std::int64_t accepted = column_total(result, 1);
+    table.add_row(
+        {strfmt("opt@%lld", static_cast<long long>(budget)),
+         strfmt("%.2fs", t), strfmt("%.2fx", t_base > 0 ? t / t_base : 0.0),
+         strfmt("%lld", static_cast<long long>(evals)),
+         strfmt("%.0f", t > 0 ? static_cast<double>(evals) / t : 0.0),
+         strfmt("%lld", static_cast<long long>(accepted)),
+         strfmt("%+lld", static_cast<long long>(accepted - base_accepted))});
+    if (budget == 200) {
+      t200 = t;
+      evals200 = evals;
+      accepted200 = accepted;
+    }
+  }
+  std::fputs(table.to_text().c_str(), stdout);
+
+  // Oracle-level reuse on one representative rejected task set: how much
+  // of each candidate evaluation the prepared-analysis diffing skips.
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    GenParams params;
+    params.scenario = scenarios.front();
+    params.total_utilization =
+        (0.5 + 0.02 * attempt) * scenarios.front().m;
+    Rng rng(options.seed + static_cast<std::uint64_t>(attempt));
+    const auto ts = generate_taskset(rng, params);
+    if (!ts) continue;
+    AnalysisSession session(*ts);
+    const auto analysis = make_analysis(AnalysisKind::kDpcpPEp);
+    // Drive the prepared oracle directly (instead of through
+    // SchedAnalysis::optimize) so its bind/diff telemetry is readable.
+    const auto prepared = analysis->prepare(session);
+    OptOptions opt;
+    opt.max_evals = 200;
+    const OptimizeOutcome out = partition_and_optimize(
+        *ts, scenarios.front().m, *prepared,
+        optimize_seed_options(session, all_placement_kinds()), rng.fork(1),
+        opt);
+    if (out.stats.evals == 0) continue;  // every seed accepted: no search
+    const std::int64_t analysed =
+        out.stats.oracle_calls + out.stats.tasks_reused;
+    std::printf(
+        "\nincremental reuse (one rejected set, opt@200): %lld of %lld "
+        "per-task analyses skipped (%.0f%%), %lld invalid moves gated "
+        "with 0 oracle queries;\noracle diffed %lld binds: %lld task "
+        "inputs unchanged vs %lld invalidated (%.0f%% unchanged)\n",
+        static_cast<long long>(out.stats.tasks_reused),
+        static_cast<long long>(analysed),
+        analysed > 0 ? 100.0 * static_cast<double>(out.stats.tasks_reused) /
+                           static_cast<double>(analysed)
+                     : 0.0,
+        static_cast<long long>(out.stats.invalid_moves),
+        static_cast<long long>(prepared->binds()),
+        static_cast<long long>(prepared->diffs_unchanged()),
+        static_cast<long long>(prepared->diffs_invalidated()),
+        prepared->binds() > 0
+            ? 100.0 *
+                  static_cast<double>(prepared->diffs_unchanged()) /
+                  static_cast<double>(prepared->diffs_unchanged() +
+                                      prepared->diffs_invalidated())
+            : 0.0);
+    break;
+  }
+
+  if (!json_path.empty()) {
+    const std::string json = strfmt(
+        "{\"scenarios\": %d, \"samples_per_point\": %d,\n"
+        " \"oneshot_seconds\": %.3f, \"opt200_seconds\": %.3f,\n"
+        " \"opt200_evals\": %lld, \"opt200_evals_per_sec\": %.0f,\n"
+        " \"oneshot_accepted\": %lld, \"opt200_accepted\": %lld, "
+        "\"opt200_gain_vs_wfd\": %lld}\n",
+        scenario_count, options.samples_per_point, t_base, t200,
+        static_cast<long long>(evals200),
+        t200 > 0 ? static_cast<double>(evals200) / t200 : 0.0,
+        static_cast<long long>(base_accepted),
+        static_cast<long long>(accepted200),
+        static_cast<long long>(accepted200 - base_accepted));
+    std::string error;
+    if (!write_text_file(json_path, json, &error)) {
+      std::fprintf(stderr, "bench_opt: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -10,6 +10,8 @@
 //                                                      # Sec. VI extension
 //   sweep_tool --scenarios first:4 --sim --validate    # simulation-backed
 //                                                      # soundness sweep
+//   sweep_tool --scenarios first:4 --optimize 200      # anytime partition
+//                                                      # search columns
 //   sweep_tool --scenarios all --csv out.csv --json out.json
 //
 // With --validate, every analysis accept is re-executed on the
@@ -45,8 +47,13 @@ int usage(const char* argv0) {
       "                    placement-requiring analysis runs once per\n"
       "                    strategy on the same task sets, as columns\n"
       "                    NAME@strategy (default: wfd only, plain names)\n"
+      "  --optimize EVALS  anytime partition-search column: every\n"
+      "                    placement-requiring analysis gains a\n"
+      "                    NAME@opt<EVALS> column seeding Algorithm 1 from\n"
+      "                    every strategy, then local-searching rejected\n"
+      "                    partitions with an EVALS evaluation budget\n"
       "  --samples N       task sets per utilization point (default: 100)\n"
-      "  --seed S          root seed of the sweep (default: 42)\n"
+      "  --seed S          root seed of the sweep, uint64 (default: 42)\n"
       "  --threads T       worker threads, 0 = hardware cores (default: 0)\n"
       "  --light N         extra light tasks per set, Sec. VI (default: 0)\n"
       "  --utils LIST      normalized utilization points, e.g. 0.2,0.4,0.6\n"
@@ -140,6 +147,21 @@ int main(int argc, char** argv) {
       }
       return *v;
     };
+    // For knobs documented as uint64 (the seed): parse_int's long long
+    // range would silently reject 2^63..2^64-1.
+    auto uint_value = [&](unsigned long long lo,
+                          unsigned long long hi) -> unsigned long long {
+      const char* raw = value();
+      const auto v = parse_uint(raw, lo, hi);
+      if (!v) {
+        std::fprintf(stderr,
+                     "%s: invalid unsigned integer '%s' (expected "
+                     "%llu..%llu)\n",
+                     arg.c_str(), raw, lo, hi);
+        std::exit(usage(argv[0]));
+      }
+      return *v;
+    };
     if (arg == "--scenarios") scenario_spec = value();
     else if (arg == "--analyses") analysis_list = value();
     else if (arg == "--placement") {
@@ -153,8 +175,9 @@ int main(int argc, char** argv) {
       }
       options.placements = *placements;
     }
+    else if (arg == "--optimize") options.optimize_evals = int_value(1, 1 << 30);
     else if (arg == "--samples") options.samples_per_point = static_cast<int>(int_value(1, 1 << 20));
-    else if (arg == "--seed") options.seed = static_cast<std::uint64_t>(int_value(0, INT64_MAX));
+    else if (arg == "--seed") options.seed = static_cast<std::uint64_t>(uint_value(0, UINT64_MAX));
     else if (arg == "--threads") options.threads = static_cast<int>(int_value(0, 1 << 16));
     else if (arg == "--light") options.light_tasks = static_cast<int>(int_value(0, 1 << 20));
     else if (arg == "--utils") { options.norm_utilizations.clear(); if (!parse_doubles(value(), &options.norm_utilizations)) return usage(argv[0]); }
@@ -187,6 +210,18 @@ int main(int argc, char** argv) {
   std::vector<AnalysisKind> kinds;
   if (!parse_analyses(analysis_list, &kinds)) return usage(argv[0]);
 
+  // Optimizer columns exist only for placement-requiring analyses; an
+  // --optimize request that cannot take effect must say so instead of
+  // silently sweeping without a search.
+  bool any_placement_requiring = false;
+  for (AnalysisKind k : kinds)
+    if (make_analysis(k)->placement() != ResourcePlacement::kNone)
+      any_placement_requiring = true;
+  if (options.optimize_evals > 0 && !any_placement_requiring)
+    std::fprintf(stderr,
+                 "warning: --optimize has no effect: no selected analysis "
+                 "is placement-requiring\n");
+
   if (!quiet) {
     std::fprintf(stderr, "sweep: %zu scenario(s), %zu analyses, %d samples/point, seed %llu\n",
                  scenarios->size(), kinds.size(), options.samples_per_point,
@@ -199,6 +234,11 @@ int main(int argc, char** argv) {
       }
       std::fprintf(stderr, "placement axis: %s\n", axis.c_str());
     }
+    if (options.optimize_evals > 0 && any_placement_requiring)
+      std::fprintf(stderr,
+                   "optimizer: opt@%lld columns (all-strategy seeds + "
+                   "budgeted local search)\n",
+                   static_cast<long long>(options.optimize_evals));
     if (options.sim.enabled || options.sim.validate)
       std::fprintf(stderr, "sim backend: horizon %lld ms, %s mode%s\n",
                    static_cast<long long>(options.sim.horizon / kMillisecond),

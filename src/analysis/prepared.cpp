@@ -10,16 +10,19 @@ PreparedAnalysis::PreparedAnalysis(AnalysisSession& session)
 
 void PreparedAnalysis::bind(const Partition& part) {
   WcrtOracle::bind(part);
+  ++binds_;
   for (int i = 0; i < ts_.size(); ++i) {
     const std::size_t ui = static_cast<std::size_t>(i);
     scratch_.clear();
     partition_inputs(part, i, &scratch_);
     if (bound_once_ && scratch_ == inputs_[ui]) {
       unchanged_[ui] = 1;
+      ++diffs_unchanged_;
     } else {
       unchanged_[ui] = 0;
       inputs_[ui] = scratch_;
       invalidate(i);
+      ++diffs_invalidated_;
     }
   }
   bound_once_ = true;

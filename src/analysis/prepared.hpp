@@ -28,6 +28,15 @@ class PreparedAnalysis : public WcrtOracle {
   void bind(const Partition& part) override;
   bool task_unchanged(int task) const override;
 
+  /// Telemetry of the cross-round diffing (read by bench_opt's
+  /// incremental-reuse report and test_opt's diff-contract test): how
+  /// many partitions were bound and, summed over binds, how many
+  /// per-task diffs certified the inputs unchanged (re-analysis
+  /// avoidable) vs. dropped cached state through invalidate().
+  std::int64_t binds() const { return binds_; }
+  std::int64_t diffs_unchanged() const { return diffs_unchanged_; }
+  std::int64_t diffs_invalidated() const { return diffs_invalidated_; }
+
  protected:
   /// Serializes everything wcrt(task, ·) reads from `part` into `out`
   /// (cleared by the caller).  Two equal token streams MUST imply equal
@@ -62,6 +71,9 @@ class PreparedAnalysis : public WcrtOracle {
   std::vector<char> unchanged_;
   std::vector<Time> scratch_;
   bool bound_once_ = false;
+  std::int64_t binds_ = 0;
+  std::int64_t diffs_unchanged_ = 0;
+  std::int64_t diffs_invalidated_ = 0;
 };
 
 }  // namespace dpcp

@@ -45,7 +45,10 @@
 #include "model/resource.hpp"
 #include "model/task.hpp"
 #include "model/taskset.hpp"
+#include "opt/move.hpp"
+#include "opt/optimizer.hpp"
 #include "partition/federated.hpp"
+#include "partition/optimize.hpp"
 #include "partition/partition.hpp"
 #include "partition/partitioner.hpp"
 #include "partition/placement.hpp"

@@ -26,8 +26,17 @@ namespace {
 // enabling one never perturbs another (or generation itself).
 constexpr std::uint64_t kSimColumnSalt = 0x53494D00ull;    // "SIM"
 constexpr std::uint64_t kValidateSalt = 0x56414C00ull;     // "VAL"
+constexpr std::uint64_t kOptimizeSalt = 0x4F505400ull;     // "OPT"
 
 }  // namespace
+
+void OptPointStats::merge(const OptPointStats& o) {
+  seed_accepts += o.seed_accepts;
+  search_accepts += o.search_accepts;
+  evals += o.evals;
+  proposals += o.proposals;
+  invalid_moves += o.invalid_moves;
+}
 
 std::uint64_t scenario_seed(std::uint64_t base_seed, std::size_t index) {
   return base_seed + static_cast<std::uint64_t>(index) * 1000003ull;
@@ -57,39 +66,63 @@ SweepResult run_sweep(const std::vector<Scenario>& scenarios,
   const std::vector<PlacementKind> placements =
       placement_axis ? options.placements
                      : std::vector<PlacementKind>{PlacementKind::kWfd};
+  // Optimizer columns: one per placement-requiring analysis, after its
+  // strategy columns.  The seed pool is always every built-in strategy —
+  // independent of the placement axis — so the column is never worse than
+  // any strategy column a sweep could have run.
+  const bool optimize = options.optimize_evals > 0;
+  const std::string opt_token =
+      "opt" + std::to_string(options.optimize_evals);
   struct Column {
     AnalysisKind kind;
     const PlacementStrategy* strategy;  // nullptr = placement-insensitive
     std::string name;                   // display (decorated) name
+    bool optimize = false;              // partition-search column
   };
   std::vector<Column> columns;
   SweepResult result;
+  // A sweep of only placement-insensitive analyses has nothing to
+  // optimize; opt_active keeps the reports free of empty opt scaffolding.
+  bool have_opt_column = false;
   for (AnalysisKind k : kinds) {
     const auto analysis = make_analysis(k, options.analysis);
     const std::string bare = analysis->name();
     if (analysis->placement() == ResourcePlacement::kNone) {
-      columns.push_back({k, nullptr, bare});
+      columns.push_back({k, nullptr, bare, false});
       result.column_analysis.push_back(bare);
       result.column_placement.push_back("");
+      result.column_opt.push_back(0);
       continue;
     }
     for (PlacementKind p : placements) {
       const PlacementStrategy& strategy = placement_strategy(p);
       columns.push_back(
           {k, &strategy,
-           placement_axis ? bare + "@" + strategy.name() : bare});
+           placement_axis ? bare + "@" + strategy.name() : bare, false});
       result.column_analysis.push_back(bare);
       result.column_placement.push_back(strategy.name());
+      result.column_opt.push_back(0);
+    }
+    if (optimize) {
+      columns.push_back({k, nullptr, bare + "@" + opt_token, true});
+      result.column_analysis.push_back(bare);
+      result.column_placement.push_back(opt_token);
+      result.column_opt.push_back(1);
+      have_opt_column = true;
     }
   }
   const std::size_t n_acol = columns.size();
   // Analytical columns first, then the trailing "sim" observation column.
   const std::size_t n_cols = n_acol + (sim_on ? 1 : 0);
 
+  const bool opt_active = have_opt_column;
   result.curves.resize(n_scen);
   result.placement_axis = placement_axis;
+  result.optimize_evals = opt_active ? options.optimize_evals : 0;
   result.sim_enabled = sim_on;
   result.validated = validate;
+  const std::vector<PlacementKind> opt_seeds =
+      opt_active ? all_placement_kinds() : std::vector<PlacementKind>();
 
   // Which simulator protocol (if any) faithfully executes each column.
   std::vector<std::optional<SimProtocol>> protocols(n_acol);
@@ -136,6 +169,13 @@ SweepResult run_sweep(const std::vector<Scenario>& scenarios,
           n_acol, std::vector<ValidationPointStats>(
                       result.curves[s].utilization.size()));
   }
+  if (opt_active) {
+    result.opt_stats.resize(n_scen);
+    for (std::size_t s = 0; s < n_scen; ++s)
+      result.opt_stats[s].assign(
+          n_acol,
+          std::vector<OptPointStats>(result.curves[s].utilization.size()));
+  }
 
   const int threads =
       options.threads > 0
@@ -167,6 +207,8 @@ SweepResult run_sweep(const std::vector<Scenario>& scenarios,
     std::vector<std::vector<SimPointStats>> local_sim(sim_on ? n_scen : 0);
     std::vector<std::vector<std::vector<ValidationPointStats>>> local_val(
         validate ? n_scen : 0);
+    std::vector<std::vector<std::vector<OptPointStats>>> local_opt(
+        opt_active ? n_scen : 0);
     for (std::size_t s = 0; s < n_scen; ++s) {
       const std::size_t points = result.curves[s].utilization.size();
       local_accepted[s].assign(n_cols, std::vector<std::int64_t>(points, 0));
@@ -175,6 +217,8 @@ SweepResult run_sweep(const std::vector<Scenario>& scenarios,
       if (validate)
         local_val[s].assign(n_acol,
                             std::vector<ValidationPointStats>(points));
+      if (opt_active)
+        local_opt[s].assign(n_acol, std::vector<OptPointStats>(points));
     }
     std::vector<AnalysisValidation> local_av(validate ? n_acol : 0);
     std::vector<UnsoundAccept> local_failures;
@@ -208,18 +252,36 @@ SweepResult run_sweep(const std::vector<Scenario>& scenarios,
         // priority order) is computed once for the paired comparison.
         AnalysisSession session(*ts);
         for (std::size_t a = 0; a < analyses.size(); ++a) {
-          if (!validate) {
-            if (analyses[a]
-                    ->test(session, scenarios[s].m, columns[a].strategy)
-                    .schedulable)
-              ++local_accepted[s][a][point];
-            continue;
+          PartitionOutcome outcome;
+          if (columns[a].optimize) {
+            // The anytime partition search, on its own deterministic
+            // sub-stream per (scenario, point, sample, column).  The
+            // seed phase re-runs Algorithm 1 per strategy even when a
+            // placement axis just computed some of those outcomes for
+            // this sample: the seed pool is always all strategies while
+            // the axis may be any subset, and the session's placement
+            // memos already absorb the expensive placement work — only
+            // the oracle rounds repeat, which keeps the columns
+            // independent instead of threading outcomes between them.
+            OptOptions opt_options;
+            opt_options.max_evals = options.optimize_evals;
+            OptimizeOutcome opt_out = analyses[a]->optimize(
+                session, scenarios[s].m, opt_seeds,
+                rng.fork(kOptimizeSalt + a), opt_options);
+            OptPointStats& op = local_opt[s][a][point];
+            op.seed_accepts += opt_out.seed_schedulable ? 1 : 0;
+            op.search_accepts += opt_out.search_accepted ? 1 : 0;
+            op.evals += opt_out.stats.evals;
+            op.proposals += opt_out.stats.proposals;
+            op.invalid_moves += opt_out.stats.invalid_moves;
+            outcome = std::move(opt_out.outcome);
+          } else {
+            outcome =
+                analyses[a]->test(session, scenarios[s].m, columns[a].strategy);
           }
-          const PartitionOutcome outcome =
-              analyses[a]->test(session, scenarios[s].m, columns[a].strategy);
           if (!outcome.schedulable) continue;
           ++local_accepted[s][a][point];
-          if (!protocols[a]) continue;
+          if (!validate || !protocols[a]) continue;
           // Cross-check: execute this accept on its own partition under
           // the protocol the analysis models.  Fork order is fixed, so
           // the checked behaviour is a pure function of the coordinates.
@@ -299,6 +361,10 @@ SweepResult run_sweep(const std::vector<Scenario>& scenarios,
         for (std::size_t a = 0; a < n_acol; ++a)
           for (std::size_t p = 0; p < points; ++p)
             result.validation_points[s][a][p].merge(local_val[s][a][p]);
+      if (opt_active)
+        for (std::size_t a = 0; a < n_acol; ++a)
+          for (std::size_t p = 0; p < points; ++p)
+            result.opt_stats[s][a][p].merge(local_opt[s][a][p]);
     }
     if (validate) {
       for (std::size_t a = 0; a < n_acol; ++a)
@@ -397,8 +463,19 @@ SweepOptions sweep_options_from_env(int default_samples) {
   };
   if (const auto v = env_int("DPCP_SAMPLES", 1, 1 << 20))
     options.samples_per_point = static_cast<int>(*v);
-  if (const auto v = env_int("DPCP_SEED", 0, INT64_MAX))
-    options.seed = static_cast<std::uint64_t>(*v);
+  // The seed is documented as uint64, so it parses unsigned: routing it
+  // through parse_int would silently reject the upper half of its range.
+  if (const char* s = std::getenv("DPCP_SEED"); s && *s != '\0') {
+    const auto v = parse_uint(s);
+    if (!v) {
+      std::fprintf(stderr,
+                   "DPCP_SEED: invalid unsigned integer '%s' "
+                   "(expected 0..%llu)\n",
+                   s, static_cast<unsigned long long>(UINT64_MAX));
+      std::exit(2);
+    }
+    options.seed = *v;
+  }
   if (const auto v = env_int("DPCP_THREADS", 0, 1 << 16))
     options.threads = static_cast<int>(*v);
   return options;

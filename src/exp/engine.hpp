@@ -53,6 +53,18 @@ struct SweepOptions {
   /// undecorated column.  Empty = the paper's WFD only, with the
   /// historical column names (golden-CSV compatible).
   std::vector<PlacementKind> placements;
+  /// Anytime partition-search budget (candidate evaluations per task
+  /// set): when > 0, every placement-requiring analysis gains one extra
+  /// "NAME@opt<EVALS>" column — Algorithm 1 seeded from every built-in
+  /// placement strategy, then budgeted local search over spare grants,
+  /// resource placement, and cluster widths (src/opt/) on the task sets
+  /// every other column saw (the paired comparison extends to the
+  /// optimizer).  Accepted-by-construction whenever any strategy column
+  /// accepts; the search's randomness comes from a per-(scenario, point,
+  /// sample, column) keyed sub-stream, so sweeps stay bit-identical at
+  /// any thread count.  0 = off (default), keeping every report
+  /// byte-identical to pre-optimizer sweeps.
+  std::int64_t optimize_evals = 0;
   /// Simulation backend: when sim.enabled (or sim.validate, which implies
   /// it), every generated task set is also executed on the discrete-event
   /// simulator and an extra "sim" observation column is appended after the
@@ -67,6 +79,19 @@ struct SweepOptions {
   std::function<void(std::size_t, std::size_t)> progress;
 };
 
+/// Per-(scenario, analysis column, utilization point) optimizer
+/// telemetry, summed over samples; only optimizer ("NAME@opt<EVALS>")
+/// columns' entries are ever filled.  All counters merge additively, so
+/// per-worker instances combine deterministically.
+struct OptPointStats {
+  std::int64_t seed_accepts = 0;    // accepted by a seed strategy alone
+  std::int64_t search_accepts = 0;  // accepts the local search added
+  std::int64_t evals = 0;           // candidate evaluations spent
+  std::int64_t proposals = 0;       // moves proposed
+  std::int64_t invalid_moves = 0;   // validate-rejected (0 oracle queries)
+  void merge(const OptPointStats& o);
+};
+
 /// One AcceptanceCurve per input scenario, in input order.
 struct SweepResult {
   std::vector<AcceptanceCurve> curves;
@@ -79,9 +104,17 @@ struct SweepResult {
   /// suffix).  Size = number of analytical columns (the trailing sim
   /// column, when present, is not listed).
   std::vector<std::string> column_analysis;
-  /// Per analytical column: the placement-strategy token, or "" for
-  /// placement-insensitive analyses.
+  /// Per analytical column: the placement-strategy token ("" for
+  /// placement-insensitive analyses, "opt<EVALS>" for optimizer columns).
   std::vector<std::string> column_placement;
+  /// Echo of SweepOptions::optimize_evals; > 0 when optimizer columns ran.
+  std::int64_t optimize_evals = 0;
+  /// Per analytical column: 1 for "NAME@opt<EVALS>" optimizer columns.
+  std::vector<char> column_opt;
+  /// Per (curve, analysis column, utilization point) optimizer telemetry;
+  /// empty unless optimize_evals > 0 (and filled only at optimizer
+  /// columns' indices).
+  std::vector<std::vector<std::vector<OptPointStats>>> opt_stats;
   /// Generator health counters merged over the whole sweep (generation is
   /// per task set, not per analysis, so these are sweep-level).
   GenStats gen_stats;

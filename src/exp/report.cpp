@@ -64,6 +64,9 @@ std::string sweep_to_csv(const SweepResult& result) {
     header.insert(header.end(),
                   {"val_checked", "val_unsound", "val_gap_mean",
                    "val_gap_max"});
+  if (result.optimize_evals > 0)
+    header.insert(header.end(),
+                  {"opt_evals", "opt_seed_accepts", "opt_search_accepts"});
   Table table(std::move(header));
 
   for (std::size_t s = 0; s < result.curves.size(); ++s) {
@@ -125,6 +128,20 @@ std::string sweep_to_csv(const SweepResult& result) {
             row.insert(row.end(), 4, "");
           }
         }
+        if (result.optimize_evals > 0) {
+          const bool opt_col =
+              a < result.column_opt.size() && result.column_opt[a];
+          if (opt_col) {
+            const OptPointStats& op = result.opt_stats[s][a][p];
+            row.push_back(strfmt("%lld", static_cast<long long>(op.evals)));
+            row.push_back(
+                strfmt("%lld", static_cast<long long>(op.seed_accepts)));
+            row.push_back(
+                strfmt("%lld", static_cast<long long>(op.search_accepts)));
+          } else {
+            row.insert(row.end(), 3, "");
+          }
+        }
         table.add_row(std::move(row));
       }
   }
@@ -144,19 +161,28 @@ std::string sweep_to_json(const SweepResult& result) {
       static_cast<long long>(gs.usage_downscales),
       static_cast<long long>(gs.failures));
 
-  if (result.placement_axis) {
-    // Per-strategy acceptance deltas, grouped by analysis: total accepted
-    // over the whole sweep per strategy, minus the group's first strategy
-    // (the axis baseline).  The CI placement job uploads this object.
-    std::vector<std::int64_t> totals(result.column_analysis.size(), 0);
+  // Whole-sweep per-column acceptance totals (the placement-deltas and
+  // optimizer-gains inputs).
+  const auto column_is_opt = [&](std::size_t a) {
+    return a < result.column_opt.size() && result.column_opt[a] != 0;
+  };
+  std::vector<std::int64_t> totals(result.column_analysis.size(), 0);
+  if (result.placement_axis || result.optimize_evals > 0) {
     for (const AcceptanceCurve& curve : result.curves)
       for (std::size_t a = 0; a < totals.size(); ++a)
         for (std::size_t p = 0; p < curve.utilization.size(); ++p)
           totals[a] += curve.accepted[a][p];
+  }
+
+  if (result.placement_axis) {
+    // Per-strategy acceptance deltas, grouped by analysis: total accepted
+    // over the whole sweep per strategy, minus the group's first strategy
+    // (the axis baseline).  The CI placement job uploads this object.
+    // Optimizer columns are not strategies; they report under opt_gains.
     out += "\n  \"placement_deltas\": [";
     bool first_group = true;
     for (std::size_t a = 0; a < totals.size(); ++a) {
-      if (result.column_placement[a].empty()) continue;  // insensitive
+      if (result.column_placement[a].empty() || column_is_opt(a)) continue;
       const bool group_start =
           a == 0 || result.column_analysis[a] != result.column_analysis[a - 1];
       if (!group_start) continue;
@@ -169,6 +195,7 @@ std::string sweep_to_json(const SweepResult& result) {
                               result.column_analysis[b] ==
                                   result.column_analysis[a];
            ++b) {
+        if (column_is_opt(b)) continue;
         out += strfmt(
             "%s{\"placement\": \"%s\", \"accepted\": %lld, \"delta\": %lld}",
             b == a ? "" : ", ",
@@ -179,6 +206,55 @@ std::string sweep_to_json(const SweepResult& result) {
       out += "]}";
     }
     out += first_group ? "]," : "\n  ],";
+  }
+
+  if (result.optimize_evals > 0) {
+    // Per optimized analysis: the opt column's whole-sweep acceptance
+    // against the best one-shot strategy column of the same analysis in
+    // this sweep — the optimizer's headline acceptance gain — plus its
+    // cost telemetry.  The CI optimizer job uploads this object.
+    out += strfmt("\n  \"optimize_evals\": %lld,",
+                  static_cast<long long>(result.optimize_evals));
+    out += "\n  \"opt_gains\": [";
+    bool first = true;
+    for (std::size_t a = 0; a < totals.size(); ++a) {
+      if (!column_is_opt(a)) continue;
+      // Best one-shot sibling column (same analysis, not the optimizer).
+      std::int64_t best = 0;
+      std::string best_token;
+      bool have_best = false;
+      for (std::size_t b = 0; b < totals.size(); ++b) {
+        if (column_is_opt(b) ||
+            result.column_analysis[b] != result.column_analysis[a])
+          continue;
+        if (!have_best || totals[b] > best) {
+          have_best = true;
+          best = totals[b];
+          best_token = result.column_placement[b];
+        }
+      }
+      std::int64_t evals = 0, seed_accepts = 0, search_accepts = 0;
+      for (std::size_t s = 0; s < result.opt_stats.size(); ++s)
+        for (const OptPointStats& op : result.opt_stats[s][a]) {
+          evals += op.evals;
+          seed_accepts += op.seed_accepts;
+          search_accepts += op.search_accepts;
+        }
+      out += first ? "\n    {" : ",\n    {";
+      first = false;
+      out += strfmt(
+          "\"analysis\": \"%s\", \"opt_accepted\": %lld, "
+          "\"best_placement\": \"%s\", \"best_accepted\": %lld, "
+          "\"gain\": %lld,\n     \"evals\": %lld, \"seed_accepts\": %lld, "
+          "\"search_accepts\": %lld}",
+          json_escape(result.column_analysis[a]).c_str(),
+          static_cast<long long>(totals[a]),
+          json_escape(best_token).c_str(), static_cast<long long>(best),
+          static_cast<long long>(totals[a] - best),
+          static_cast<long long>(evals), static_cast<long long>(seed_accepts),
+          static_cast<long long>(search_accepts));
+    }
+    out += first ? "]," : "\n  ],";
   }
 
   if (result.validated) {
@@ -263,7 +339,10 @@ std::string sweep_to_json(const SweepResult& result) {
     for (std::size_t a = 0; a < curve.names.size(); ++a) {
       out += a ? ",\n       {" : "\n       {";
       out += strfmt("\"name\": \"%s\", ", json_escape(curve.names[a]).c_str());
-      if (result.placement_axis && a < result.column_placement.size())
+      const bool opt_col = a < result.column_opt.size() &&
+                           result.column_opt[a] != 0;
+      if ((result.placement_axis || opt_col) &&
+          a < result.column_placement.size())
         out += strfmt("\"analysis\": \"%s\", \"placement\": \"%s\", ",
                       json_escape(result.column_analysis[a]).c_str(),
                       json_escape(result.column_placement[a]).c_str());
@@ -290,6 +369,23 @@ std::string sweep_to_json(const SweepResult& result) {
                int_array(checked) + ", \"unsound\": " + int_array(unsound) +
                ", \"gap_mean\": " + double_array(gap_mean) +
                ", \"gap_max\": " + double_array(gap_max) + "}";
+      }
+      if (opt_col) {
+        const auto& ops = result.opt_stats[s][a];
+        std::vector<std::int64_t> evals, seed_accepts, search_accepts,
+            proposals, invalid_moves;
+        for (const OptPointStats& op : ops) {
+          evals.push_back(op.evals);
+          seed_accepts.push_back(op.seed_accepts);
+          search_accepts.push_back(op.search_accepts);
+          proposals.push_back(op.proposals);
+          invalid_moves.push_back(op.invalid_moves);
+        }
+        out += ",\n        \"opt\": {\"evals\": " + int_array(evals) +
+               ", \"seed_accepts\": " + int_array(seed_accepts) +
+               ", \"search_accepts\": " + int_array(search_accepts) +
+               ",\n         \"proposals\": " + int_array(proposals) +
+               ", \"invalid_moves\": " + int_array(invalid_moves) + "}";
       }
       out += "}";
     }

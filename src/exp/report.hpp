@@ -31,8 +31,11 @@ std::string json_escape(const std::string& s);
 /// cross-check columns (val_checked,val_unsound,val_gap_mean,val_gap_max —
 /// filled on rows of sim-comparable analyses).  Placement-axis sweeps
 /// insert a "placement" column after "analysis" carrying the strategy
-/// token (empty for placement-insensitive analyses and sim rows).  Plain
-/// analytical sweeps keep the historical 15-column schema byte-for-byte.
+/// token (empty for placement-insensitive analyses and sim rows).
+/// Optimizer-enabled sweeps (SweepOptions::optimize_evals) append
+/// opt_evals,opt_seed_accepts,opt_search_accepts, filled on the
+/// "NAME@opt<EVALS>" rows.  Plain analytical sweeps keep the historical
+/// 15-column schema byte-for-byte.
 std::string sweep_to_csv(const SweepResult& result);
 
 /// JSON document: {"gen_stats": {attempts, rejections, fallbacks,
@@ -53,6 +56,13 @@ std::string sweep_to_csv(const SweepResult& result);
 /// placement-requiring analysis: total accepted and delta vs. the axis's
 /// first strategy) and "analysis"/"placement" fields on each per-scenario
 /// analysis entry.
+///
+/// Optimizer-enabled sweeps add top-level "optimize_evals" and
+/// "opt_gains" (per optimized analysis: whole-sweep opt acceptance vs.
+/// the best one-shot strategy column, the delta, and eval telemetry),
+/// plus a per-scenario "opt" object (per-point evals / seed_accepts /
+/// search_accepts / proposals / invalid_moves arrays) on each
+/// "NAME@opt<EVALS>" analysis entry.
 std::string sweep_to_json(const SweepResult& result);
 
 /// Serialize-and-write wrappers over io/'s write_text_file; on failure

@@ -1,0 +1,276 @@
+#include "opt/optimizer.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dpcp {
+
+PartitionOptimizer::PartitionOptimizer(const TaskSet& ts, int m,
+                                       WcrtOracle& oracle,
+                                       const std::vector<int>& order, Rng rng,
+                                       const OptOptions& options)
+    : ts_(ts),
+      m_(m),
+      oracle_(oracle),
+      order_(order),
+      rng_(rng),
+      options_(options),
+      globals_(ts.global_resources()) {
+  for (int k = 0; k < kNumMoveKinds; ++k) {
+    const MoveKind kind = static_cast<MoveKind>(k);
+    if (options_.move_mask & move_bit(kind)) enabled_kinds_.push_back(kind);
+  }
+  const std::size_t n = static_cast<std::size_t>(ts_.size());
+  prev_result_.resize(n);
+  result_.resize(n);
+  last_wcrt_.assign(n, kTimeInfinity);
+}
+
+OptScore PartitionOptimizer::evaluate(const Partition& part) {
+  ++stats_.evals;
+  oracle_.bind(part);
+  const std::size_t n = static_cast<std::size_t>(ts_.size());
+
+  // One full scoring pass mirrors one Algorithm-1 round under the
+  // max-miss policy: tasks in decreasing priority order, each seeing the
+  // computed bounds of earlier tasks (or D_j) as hints, and every task is
+  // analysed so the objective covers the whole set.  The reuse rule is
+  // the one partition_and_analyze() proves behavior-preserving: a task
+  // may keep its previous result when the oracle certifies its partition
+  // inputs unchanged since the previous bind AND every earlier task
+  // produced the same bound (so its hint vector is bitwise identical).
+  std::vector<Time> hint(n);
+  for (int j = 0; j < ts_.size(); ++j)
+    hint[static_cast<std::size_t>(j)] = ts_.task(j).deadline();
+  last_wcrt_.assign(n, kTimeInfinity);
+
+  bool hints_match = have_prev_;
+  OptScore score;
+  for (int i : order_) {
+    const std::size_t ui = static_cast<std::size_t>(i);
+    std::optional<Time> r;
+    if (hints_match && oracle_.task_unchanged(i)) {
+      r = prev_result_[ui];
+      ++stats_.tasks_reused;
+    } else {
+      r = oracle_.wcrt(i, hint);
+      ++stats_.oracle_calls;
+    }
+    result_[ui] = r;
+    if (have_prev_ && r != prev_result_[ui]) hints_match = false;
+
+    const Time deadline = ts_.task(i).deadline();
+    if (r && *r <= deadline) {
+      hint[ui] = *r;
+      last_wcrt_[ui] = *r;
+    } else {
+      // Saturate each miss at one deadline so a single divergent task
+      // cannot drown the progress signal of the others.
+      ++score.failing;
+      score.penalty += r ? std::min(*r - deadline, deadline) : deadline;
+    }
+  }
+  prev_result_.swap(result_);
+  have_prev_ = true;
+  return score;
+}
+
+std::vector<ProcessorId> PartitionOptimizer::spare_processors(
+    const Partition& part) const {
+  std::vector<char> used(static_cast<std::size_t>(m_), 0);
+  for (int i = 0; i < ts_.size(); ++i)
+    for (ProcessorId p : part.cluster(i)) used[static_cast<std::size_t>(p)] = 1;
+  std::vector<ProcessorId> out;
+  for (ProcessorId p = 0; p < m_; ++p)
+    if (!used[static_cast<std::size_t>(p)]) out.push_back(p);
+  return out;
+}
+
+std::optional<Move> PartitionOptimizer::propose(const Partition& part) {
+  ++stats_.proposals;
+  if (enabled_kinds_.empty()) return std::nullopt;
+  const MoveKind kind = enabled_kinds_[rng_.index(enabled_kinds_.size())];
+  const int n = ts_.size();
+
+  // Tasks whose cluster can shed a processor (multi-processor clusters
+  // are dedicated by the sharing invariant).
+  const auto wide_tasks = [&]() {
+    std::vector<int> out;
+    for (int i = 0; i < n; ++i)
+      if (part.cluster_size(i) >= 2) out.push_back(i);
+    return out;
+  };
+
+  switch (kind) {
+    case MoveKind::kRegrantSpare: {
+      if (n < 2) return std::nullopt;
+      const std::vector<int> wide = wide_tasks();
+      if (wide.empty()) return std::nullopt;
+      const int from = wide[rng_.index(wide.size())];
+      int to = static_cast<int>(rng_.index(static_cast<std::size_t>(n - 1)));
+      if (to >= from) ++to;
+      return Move::regrant(from, to);
+    }
+    case MoveKind::kRelocateResource: {
+      if (globals_.empty() || m_ < 2) return std::nullopt;
+      const ResourceId q = globals_[rng_.index(globals_.size())];
+      const ProcessorId cur = part.processor_of_resource(q);
+      if (cur == Partition::kUnassigned) return std::nullopt;
+      // Uniform over the m-1 processors other than the current one.
+      const ProcessorId to = static_cast<ProcessorId>(
+          (cur + 1 +
+           static_cast<ProcessorId>(rng_.index(static_cast<std::size_t>(
+               m_ - 1)))) %
+          m_);
+      return Move::relocate(q, to);
+    }
+    case MoveKind::kWidenCluster: {
+      if (n == 0) return std::nullopt;
+      const std::vector<ProcessorId> spares = spare_processors(part);
+      if (spares.empty()) return std::nullopt;
+      const int task = static_cast<int>(rng_.index(static_cast<std::size_t>(n)));
+      return Move::widen(task, spares[rng_.index(spares.size())]);
+    }
+    case MoveKind::kNarrowCluster: {
+      const std::vector<int> wide = wide_tasks();
+      if (wide.empty()) return std::nullopt;
+      const int task = wide[rng_.index(wide.size())];
+      const auto& c = part.cluster(task);
+      return Move::narrow(task, c[rng_.index(c.size())]);
+    }
+    case MoveKind::kSwapResources: {
+      if (globals_.size() < 2) return std::nullopt;
+      const std::size_t a = rng_.index(globals_.size());
+      std::size_t b = rng_.index(globals_.size() - 1);
+      if (b >= a) ++b;
+      return Move::swap_resources(globals_[a], globals_[b]);
+    }
+  }
+  return std::nullopt;
+}
+
+SearchResult PartitionOptimizer::run(
+    const std::vector<const Partition*>& seeds) {
+  assert(!seeds.empty());
+  SearchResult res;
+  const std::size_t n = static_cast<std::size_t>(ts_.size());
+
+  std::vector<std::size_t> valid;
+  for (std::size_t i = 0; i < seeds.size(); ++i)
+    if (!seeds[i]->validate(ts_)) valid.push_back(i);
+  if (valid.empty()) {
+    // Nothing the oracle may even look at; hand the first seed back
+    // unscored.  (The callers' seeds come from Algorithm-1 runs whose
+    // final partitions are valid except when the initial federated
+    // allocation itself failed.)
+    res.partition = *seeds.front();
+    res.score = {static_cast<std::int64_t>(n), 0};
+    res.wcrt.assign(n, kTimeInfinity);
+    res.stats = stats_;
+    return res;
+  }
+
+  // Score the seeds (each costs one evaluation) and keep the best.
+  bool have_best = false;
+  std::size_t best_seed = valid.front();
+  OptScore best_score{static_cast<std::int64_t>(n), 0};
+  std::vector<Time> best_wcrt(n, kTimeInfinity);
+  for (std::size_t idx : valid) {
+    if (stats_.evals >= options_.max_evals) break;
+    const OptScore sc = evaluate(*seeds[idx]);
+    if (!have_best || sc.better_than(best_score)) {
+      have_best = true;
+      best_score = sc;
+      best_seed = idx;
+      best_wcrt = last_wcrt_;
+    }
+    if (sc.schedulable()) break;
+  }
+  Partition best_part = *seeds[best_seed];
+
+  if (have_best && !best_score.schedulable()) {
+    // First-improvement hill climbing with a deterministic
+    // kick-and-restart schedule.
+    Partition cur = best_part;
+    OptScore cur_score = best_score;
+    int stall = 0;
+    const std::int64_t proposal_cap =
+        options_.max_proposals > 0 ? options_.max_proposals
+                                   : 32 * options_.max_evals + 64;
+    while (stats_.evals < options_.max_evals &&
+           stats_.proposals < proposal_cap) {
+      std::optional<Move> mv = propose(cur);
+      if (!mv) continue;
+      if (!mv->apply(cur)) continue;
+      if (cur.validate(ts_)) {
+        // The validate gate: an invalid candidate never reaches the
+        // oracle and is undone on the spot.
+        ++stats_.invalid_moves;
+        mv->undo(cur);
+        continue;
+      }
+      const OptScore sc = evaluate(cur);
+      if (sc.better_than(cur_score)) {
+        cur_score = sc;
+        stall = 0;
+        ++stats_.improvements;
+        if (sc.better_than(best_score)) {
+          best_score = sc;
+          best_part = cur;
+          best_wcrt = last_wcrt_;
+        }
+        if (sc.schedulable()) break;
+        continue;
+      }
+      mv->undo(cur);
+      if (++stall < options_.stall_limit) continue;
+
+      // Restart: back to the best candidate, perturbed by a few random
+      // (validate-gated, unscored) kick moves whose strength cycles
+      // deterministically with the restart count.
+      ++stats_.restarts;
+      stall = 0;
+      cur = best_part;
+      const int kicks = 1 + static_cast<int>(stats_.restarts % 3);
+      int applied = 0;
+      for (int attempt = 0;
+           attempt < 8 * kicks && applied < kicks &&
+           stats_.proposals < proposal_cap;
+           ++attempt) {
+        std::optional<Move> km = propose(cur);
+        if (!km || !km->apply(cur)) continue;
+        if (cur.validate(ts_)) {
+          ++stats_.invalid_moves;
+          km->undo(cur);
+          continue;
+        }
+        ++applied;
+      }
+      if (applied == 0) {
+        // Nothing perturbed: cur is still best_part and its score is
+        // already known — re-scoring it would burn budget for nothing.
+        cur_score = best_score;
+        continue;
+      }
+      if (stats_.evals >= options_.max_evals) break;
+      cur_score = evaluate(cur);
+      if (cur_score.better_than(best_score)) {
+        best_score = cur_score;
+        best_part = cur;
+        best_wcrt = last_wcrt_;
+        ++stats_.improvements;
+        if (cur_score.schedulable()) break;
+      }
+    }
+  }
+
+  res.schedulable = have_best && best_score.schedulable();
+  res.partition = std::move(best_part);
+  res.score = best_score;
+  res.wcrt = std::move(best_wcrt);
+  res.seed_index = best_seed;
+  res.stats = stats_;
+  return res;
+}
+
+}  // namespace dpcp

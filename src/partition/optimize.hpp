@@ -1,0 +1,56 @@
+// partition_and_optimize(): Algorithm 1, then local search.
+//
+// The one-shot pipeline (partition_and_analyze under one placement
+// strategy) commits to a single trajectory through partition space; this
+// entry point instead seeds from *every* supplied strategy variant — the
+// PR-4 axis — short-circuits as soon as any of them accepts, and
+// otherwise hands the rejected final partitions to the anytime
+// PartitionOptimizer (opt/optimizer.hpp) as seeds for budgeted
+// first-improvement local search over spare grants, resource placement,
+// and cluster widths.
+//
+// The result is never worse than the best seed by construction: a task
+// set any seed strategy accepts is accepted without spending a single
+// search evaluation, and a search that fails to reach schedulability
+// returns the seeding strategy's outcome untouched (plus search
+// telemetry).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "opt/optimizer.hpp"
+#include "partition/partitioner.hpp"
+#include "util/rng.hpp"
+
+namespace dpcp {
+
+struct OptimizeOutcome {
+  /// Final verdict: the accepting seed outcome, the search's schedulable
+  /// partition (with oracle-computed per-task bounds), or — when neither
+  /// exists — the seeding strategy's rejected outcome.
+  PartitionOutcome outcome;
+  /// True when some seed strategy already accepted (no search ran).
+  bool seed_schedulable = false;
+  /// True when the local search turned a unanimous seed reject into an
+  /// accept — the optimizer's acceptance gain.
+  bool search_accepted = false;
+  /// name() of the strategy the final outcome grew from (the accepting
+  /// seed, or the seed the search started at).
+  std::string seed_strategy;
+  /// Search counters; all zero when a seed accepted.
+  SearchStats stats;
+};
+
+/// Runs partition_and_analyze() once per entry of `seed_options` (in
+/// order, sharing `oracle` across runs — its cross-round diffing keeps
+/// later runs cheap), then optimizes as described above.  `seed_options`
+/// must be nonempty; each entry should name a distinct strategy.  `rng`
+/// is the search's private sub-stream — callers fork it from their keyed
+/// stream so results are reproducible at any thread count.
+OptimizeOutcome partition_and_optimize(
+    const TaskSet& ts, int m, WcrtOracle& oracle,
+    const std::vector<PartitionOptions>& seed_options, Rng rng,
+    const OptOptions& opt = {});
+
+}  // namespace dpcp

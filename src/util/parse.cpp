@@ -21,6 +21,22 @@ std::optional<long long> parse_int(const std::string& s, long long lo,
   return v;
 }
 
+std::optional<unsigned long long> parse_uint(const std::string& s,
+                                             unsigned long long lo,
+                                             unsigned long long hi) {
+  if (s.empty()) return std::nullopt;
+  // strtoull skips whitespace and accepts signs ("-1" wraps to 2^64-1);
+  // the accepted language here is digits only.
+  if (!std::isdigit(static_cast<unsigned char>(s.front())))
+    return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno == ERANGE || end == s.c_str() || *end != '\0') return std::nullopt;
+  if (v < lo || v > hi) return std::nullopt;
+  return v;
+}
+
 std::optional<double> parse_double(const std::string& s) {
   if (s.empty()) return std::nullopt;
   if (std::isspace(static_cast<unsigned char>(s.front()))) return std::nullopt;

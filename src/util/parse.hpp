@@ -21,6 +21,16 @@ std::optional<long long> parse_int(const std::string& s,
                                    long long lo = INT64_MIN,
                                    long long hi = INT64_MAX);
 
+/// Whole-string base-10 *unsigned* integer in [lo, hi] (inclusive),
+/// covering the full uint64 range that parse_int's long long cannot reach
+/// (a seed knob documented as uint64 must accept 2^63..2^64-1, not
+/// silently reject it).  nullopt on empty input, garbage, any sign
+/// character (strtoull would wrap "-1" to UINT64_MAX), whitespace,
+/// trailing characters, or out-of-range values.
+std::optional<unsigned long long> parse_uint(const std::string& s,
+                                             unsigned long long lo = 0,
+                                             unsigned long long hi = UINT64_MAX);
+
 /// Whole-string finite double; nullopt on garbage, trailing characters,
 /// overflow, or non-finite results.
 std::optional<double> parse_double(const std::string& s);

@@ -81,6 +81,40 @@ TEST(Golden, PerPlacementStrategyAcceptanceCounts) {
             (Grid{{2, 0}, {1, 1}, {2, 0}, {3, 0}, {2, 0}}));
 }
 
+// Optimizer column pinned at two diverging utilization points: DPCP-p-EP
+// over the Fig. 2(a)/(c) scenarios where the opt@200 column's accepts
+// split into both of its mechanisms — all-strategy seeding (scenario (c)
+// point 0: 7 vs. WFD's 3, found by a non-WFD seed) and genuine local
+// search (scenario (a) point 1: one accept no seed strategy finds).
+// Counts recorded from the optimizer's introducing commit; a drift in
+// the move vocabulary, proposal stream, restart schedule, or seed order
+// shows up here as a count shift.
+TEST(Golden, OptimizerColumnAcceptanceCounts) {
+  SweepOptions options;
+  options.samples_per_point = 10;
+  options.seed = 42;
+  options.norm_utilizations = {0.45, 0.5};
+  options.optimize_evals = 200;
+  const SweepResult result =
+      run_sweep({fig2_scenario('a'), fig2_scenario('c')},
+                {AnalysisKind::kDpcpPEp}, options);
+
+  ASSERT_EQ(result.curves.size(), 2u);
+  ASSERT_EQ(result.curves[0].names,
+            (std::vector<std::string>{"DPCP-p-EP", "DPCP-p-EP@opt200"}));
+  using Grid = std::vector<std::vector<std::int64_t>>;
+  // accepted[column][point]; columns: one-shot WFD, opt@200.
+  EXPECT_EQ(result.curves[0].accepted, (Grid{{0, 4}, {0, 5}}));
+  EXPECT_EQ(result.curves[1].accepted, (Grid{{3, 2}, {7, 3}}));
+  // The opt column's accept split: seed accepts vs. accepts only the
+  // local search reached.
+  ASSERT_EQ(result.opt_stats.size(), 2u);
+  EXPECT_EQ(result.opt_stats[0][1][1].seed_accepts, 4);
+  EXPECT_EQ(result.opt_stats[0][1][1].search_accepts, 1);
+  EXPECT_EQ(result.opt_stats[1][1][0].seed_accepts, 7);
+  EXPECT_EQ(result.opt_stats[1][1][0].search_accepts, 0);
+}
+
 // The full 216-scenario grid at 1 sample/point, seed 42: the long-format
 // CSV must stay byte-identical to the pre-refactor output (hash and size
 // recorded from commit bc24c1f).  This is the bit-exactness contract of

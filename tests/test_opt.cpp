@@ -1,0 +1,422 @@
+// Tests for the anytime partition-search optimizer (src/opt/ and
+// partition/optimize.hpp): move apply/undo round-trips, the
+// never-worse-than-seed acceptance property over generated task sets,
+// the validate gate (every partition the oracle sees is valid; invalid
+// moves cost zero oracle queries), the evaluation budget (count-based,
+// anytime, 0 = seed-only), and the engine's opt column (layout, paired
+// never-below-strategy acceptance, 1-vs-8-thread CSV+JSON byte
+// identity).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "analysis/interface.hpp"
+#include "analysis/session.hpp"
+#include "exp/engine.hpp"
+#include "exp/grid.hpp"
+#include "exp/report.hpp"
+#include "gen/taskset_gen.hpp"
+#include "opt/move.hpp"
+#include "opt/optimizer.hpp"
+#include "partition/federated.hpp"
+#include "partition/optimize.hpp"
+#include "partition/placement.hpp"
+
+namespace dpcp {
+namespace {
+
+// Scenario corners (as in test_placement.cpp): extremes of the paper
+// grid's processor count, resource count, utilization, request
+// probability, request count, and critical-section length.
+std::vector<Scenario> scenario_corners() {
+  Scenario small;
+  small.m = 8;
+  small.nr_min = 2;
+  small.nr_max = 4;
+  small.u_avg = 1.5;
+  small.p_r = 0.5;
+  small.n_req_max = 25;
+  small.cs_min = micros(15);
+  small.cs_max = micros(50);
+
+  Scenario dense = small;
+  dense.nr_min = 8;
+  dense.nr_max = 16;
+  dense.u_avg = 2.0;
+  dense.p_r = 1.0;
+  dense.n_req_max = 50;
+  dense.cs_min = micros(50);
+  dense.cs_max = micros(100);
+
+  Scenario mid;
+  mid.m = 16;
+  mid.nr_min = 4;
+  mid.nr_max = 8;
+  mid.u_avg = 1.5;
+  mid.p_r = 0.75;
+  mid.n_req_max = 50;
+  mid.cs_min = micros(50);
+  mid.cs_max = micros(100);
+
+  Scenario wide = mid;
+  wide.nr_min = 8;
+  wide.nr_max = 16;
+  wide.u_avg = 2.0;
+  wide.p_r = 0.5;
+  wide.n_req_max = 25;
+  wide.cs_min = micros(15);
+  wide.cs_max = micros(50);
+
+  return {small, dense, mid, wide};
+}
+
+std::string partition_fingerprint(const Partition& part) {
+  return part.to_string();
+}
+
+// ---------- move vocabulary -------------------------------------------------
+
+// A 2-task, 4-processor, 2-resource partition: tau0 -> {0, 1} (dedicated,
+// 2 wide), tau1 -> {2}, resources l0 -> p0, l1 -> p2; p3 is spare.
+Partition small_partition() {
+  Partition part(4, 2, 2);
+  part.add_processor_to_task(0, 0);
+  part.add_processor_to_task(0, 1);
+  part.add_processor_to_task(1, 2);
+  part.assign_resource(0, 0);
+  part.assign_resource(1, 2);
+  return part;
+}
+
+TEST(Move, ApplyUndoRoundTripsEveryKind) {
+  const Partition original = small_partition();
+  std::vector<Move> moves = {
+      Move::regrant(0, 1),        Move::relocate(0, 3),
+      Move::widen(1, 3),          Move::narrow(0, 1),
+      Move::swap_resources(0, 1),
+  };
+  for (Move& mv : moves) {
+    Partition part = small_partition();
+    ASSERT_TRUE(mv.apply(part)) << mv.to_string();
+    EXPECT_NE(partition_fingerprint(part), partition_fingerprint(original))
+        << mv.to_string() << " must change the partition";
+    mv.undo(part);
+    EXPECT_EQ(partition_fingerprint(part), partition_fingerprint(original))
+        << mv.to_string() << " undo must restore the partition exactly";
+  }
+}
+
+TEST(Move, ApplySemanticsPerKind) {
+  {
+    Partition part = small_partition();
+    Move mv = Move::regrant(0, 1);
+    ASSERT_TRUE(mv.apply(part));
+    EXPECT_EQ(part.cluster(0), (std::vector<ProcessorId>{0}));
+    EXPECT_EQ(part.cluster(1), (std::vector<ProcessorId>{2, 1}));
+  }
+  {
+    Partition part = small_partition();
+    Move mv = Move::narrow(0, 0);
+    ASSERT_TRUE(mv.apply(part));
+    EXPECT_EQ(part.cluster(0), (std::vector<ProcessorId>{1}));
+    // The freed processor keeps hosting l0: a dedicated synchronization
+    // processor, valid and analyzable.
+    EXPECT_EQ(part.processor_of_resource(0), 0);
+  }
+  {
+    Partition part = small_partition();
+    Move mv = Move::swap_resources(0, 1);
+    ASSERT_TRUE(mv.apply(part));
+    EXPECT_EQ(part.processor_of_resource(0), 2);
+    EXPECT_EQ(part.processor_of_resource(1), 0);
+  }
+}
+
+TEST(Move, StructurallyImpossibleMovesRefuseAndLeavePartitionUntouched) {
+  const Partition original = small_partition();
+  std::vector<Move> impossible = {
+      Move::regrant(1, 0),         // tau1 has a single processor
+      Move::regrant(0, 0),         // self-move
+      Move::relocate(0, 0),        // already there
+      Move::widen(0, 2),           // p2 is not spare
+      Move::narrow(1, 2),          // cluster would become empty
+      Move::swap_resources(0, 0),  // self-swap
+  };
+  for (Move& mv : impossible) {
+    Partition part = small_partition();
+    EXPECT_FALSE(mv.apply(part)) << mv.to_string();
+    EXPECT_EQ(partition_fingerprint(part), partition_fingerprint(original))
+        << mv.to_string();
+  }
+}
+
+// Promotion rule: granting to a task on a *shared* processor replaces its
+// cluster (a sequential light task cannot use two processors), exactly as
+// Algorithm 1's grant does.
+TEST(Move, WidenPromotesSharedLightTasks) {
+  Partition part(3, 2, 0);
+  part.add_processor_to_task(0, 0);
+  part.add_processor_to_task(1, 0);  // p0 shared by tau0 and tau1
+  Move mv = Move::widen(1, 2);
+  ASSERT_TRUE(mv.apply(part));
+  EXPECT_EQ(part.cluster(1), (std::vector<ProcessorId>{2}));
+  EXPECT_EQ(part.cluster(0), (std::vector<ProcessorId>{0}));
+  mv.undo(part);
+  EXPECT_EQ(part.cluster(1), (std::vector<ProcessorId>{0}));
+}
+
+// ---------- never worse than the seed --------------------------------------
+
+// Over >= 200 generated task sets at the scenario corners, the optimizer
+// must accept every task set any seed strategy accepts (by construction:
+// it short-circuits on a seed accept), and its extra accepts must be real
+// search finds on unanimous seed rejects.
+TEST(OptimizerProperty, NeverWorseThanSeedOn200Sets) {
+  const auto corners = scenario_corners();
+  const auto kinds = all_placement_kinds();
+  const auto analysis = make_analysis(AnalysisKind::kDpcpPEn);
+  int generated = 0;
+  std::int64_t strategy_accepts = 0, opt_accepts = 0, search_accepts = 0;
+  for (std::size_t c = 0; c < corners.size(); ++c) {
+    for (int seed = 0; seed < 50; ++seed) {
+      Rng rng(20'000 + 1'000 * static_cast<std::uint64_t>(c) +
+              static_cast<std::uint64_t>(seed));
+      GenParams params;
+      params.scenario = corners[c];
+      params.total_utilization = (0.35 + 0.05 * (seed % 8)) * corners[c].m;
+      const auto ts = generate_taskset(rng, params);
+      ASSERT_TRUE(ts.has_value());
+      ++generated;
+
+      AnalysisSession session(*ts);
+      bool any_strategy = false;
+      for (PlacementKind kind : kinds)
+        if (analysis
+                ->test(session, corners[c].m, &placement_strategy(kind))
+                .schedulable)
+          any_strategy = true;
+
+      OptOptions opt;
+      opt.max_evals = 60;
+      const OptimizeOutcome out = analysis->optimize(
+          session, corners[c].m, kinds, rng.fork(0x4F5054ull), opt);
+
+      strategy_accepts += any_strategy ? 1 : 0;
+      opt_accepts += out.outcome.schedulable ? 1 : 0;
+      search_accepts += out.search_accepted ? 1 : 0;
+      // The core property: a seed accept is never lost.
+      EXPECT_TRUE(!any_strategy || out.outcome.schedulable);
+      EXPECT_EQ(out.seed_schedulable, any_strategy);
+      // A seed accept costs zero search evaluations.
+      if (out.seed_schedulable) EXPECT_EQ(out.stats.evals, 0);
+      // An optimizer accept must carry a valid partition and per-task
+      // bounds within deadlines.
+      if (out.outcome.schedulable) {
+        EXPECT_FALSE(out.outcome.partition.validate(*ts).has_value());
+        for (int i = 0; i < ts->size(); ++i)
+          EXPECT_LE(out.outcome.wcrt[static_cast<std::size_t>(i)],
+                    ts->task(i).deadline());
+      }
+    }
+  }
+  EXPECT_EQ(generated, 200);
+  EXPECT_GE(opt_accepts, strategy_accepts);
+  EXPECT_EQ(opt_accepts - strategy_accepts, search_accepts);
+  // The search must actually flip some unanimous rejects, or this test
+  // exercises nothing beyond the short-circuit.
+  EXPECT_GT(search_accepts, 0);
+}
+
+// ---------- validate gate and budget ---------------------------------------
+
+/// Oracle that (a) asserts every partition it is bound to passes
+/// Partition::validate() and (b) counts bind()/wcrt() traffic.
+class CheckingOracle final : public WcrtOracle {
+ public:
+  CheckingOracle(const TaskSet& ts, Time bound_offset)
+      : ts_(ts), bound_offset_(bound_offset) {}
+
+  void bind(const Partition& part) override {
+    WcrtOracle::bind(part);
+    ++binds;
+    const auto err = part.validate(ts_);
+    EXPECT_FALSE(err.has_value())
+        << "oracle saw an invalid partition: " << *err;
+  }
+
+  std::optional<Time> wcrt(int task, const std::vector<Time>&) override {
+    ++calls;
+    // Deadline + offset: unschedulable everywhere (offset > 0), so the
+    // search runs its full budget through stalls and restarts.
+    return ts_.task(task).deadline() + bound_offset_;
+  }
+
+  std::int64_t binds = 0;
+  std::int64_t calls = 0;
+
+ private:
+  const TaskSet& ts_;
+  Time bound_offset_;
+};
+
+TEST(Optimizer, CandidatesAreValidatedAndInvalidMovesCostNoOracleQueries) {
+  const Scenario sc = scenario_corners()[1];  // dense: tight capacity
+  Rng rng(7);
+  GenParams params;
+  params.scenario = sc;
+  params.total_utilization = 0.6 * sc.m;
+  const auto ts = generate_taskset(rng, params);
+  ASSERT_TRUE(ts.has_value());
+
+  CheckingOracle oracle(*ts, millis(1));
+  const PartitionOutcome seed = partition_and_analyze(*ts, sc.m, oracle);
+  ASSERT_FALSE(seed.schedulable);
+  ASSERT_FALSE(seed.partition.validate(*ts).has_value());
+  const std::int64_t binds_before = oracle.binds;
+  const std::int64_t calls_before = oracle.calls;
+
+  OptOptions opt;
+  opt.max_evals = 80;
+  const std::vector<int> order = analysis_priority_order(*ts);
+  PartitionOptimizer optimizer(*ts, sc.m, oracle, order, Rng(11), opt);
+  const SearchResult res = optimizer.run({&seed.partition});
+
+  EXPECT_FALSE(res.schedulable);
+  // Every evaluation binds exactly one (validated) candidate; nothing
+  // else may touch the oracle.
+  EXPECT_EQ(oracle.binds - binds_before, res.stats.evals);
+  EXPECT_EQ(oracle.calls - calls_before, res.stats.oracle_calls);
+  EXPECT_LE(res.stats.evals, opt.max_evals);
+  // The gate must have fired: on a dense task set near capacity some
+  // proposed moves violate the invariants, and each such candidate was
+  // undone without an oracle query (checked by the eval == bind identity
+  // above plus CheckingOracle's validate assertion).
+  EXPECT_GT(res.stats.invalid_moves, 0);
+  // Every invalid move came from a proposal; restart-kick evaluations
+  // are the only evals without one.
+  EXPECT_GE(res.stats.proposals, res.stats.invalid_moves);
+  EXPECT_GE(res.stats.proposals + res.stats.restarts + 1, res.stats.evals);
+}
+
+TEST(Optimizer, BudgetZeroDegradesToSeedOnly) {
+  const Scenario sc = scenario_corners()[0];
+  Rng rng(13);
+  GenParams params;
+  params.scenario = sc;
+  params.total_utilization = 0.55 * sc.m;
+  const auto ts = generate_taskset(rng, params);
+  ASSERT_TRUE(ts.has_value());
+
+  CheckingOracle oracle(*ts, millis(1));
+  const PartitionOutcome seed = partition_and_analyze(*ts, sc.m, oracle);
+  ASSERT_FALSE(seed.schedulable);
+
+  OptOptions opt;
+  opt.max_evals = 0;
+  const std::vector<int> order = analysis_priority_order(*ts);
+  PartitionOptimizer optimizer(*ts, sc.m, oracle, order, Rng(11), opt);
+  const std::int64_t binds_before = oracle.binds;
+  const SearchResult res = optimizer.run({&seed.partition});
+  EXPECT_FALSE(res.schedulable);
+  EXPECT_EQ(res.stats.evals, 0);
+  EXPECT_EQ(oracle.binds, binds_before);
+  EXPECT_EQ(partition_fingerprint(res.partition),
+            partition_fingerprint(seed.partition));
+}
+
+// The incremental-evaluation contract, observed through the prepared
+// oracle's diff telemetry: across an optimizer run the oracle is bound
+// once per Algorithm-1 round plus once per search evaluation, and some
+// per-task diffs certify unchanged inputs (cluster moves leave most
+// tasks' declared inputs intact), which is exactly what evaluate() reuses.
+TEST(Optimizer, PreparedOracleDiffingEngagesAcrossMoves) {
+  const Scenario sc = scenario_corners()[0];
+  Rng rng(21);
+  GenParams params;
+  params.scenario = sc;
+  params.total_utilization = 0.55 * sc.m;
+  const auto ts = generate_taskset(rng, params);
+  ASSERT_TRUE(ts.has_value());
+
+  AnalysisSession session(*ts);
+  const auto analysis = make_analysis(AnalysisKind::kDpcpPEn);
+  const auto prepared = analysis->prepare(session);
+  OptOptions opt;
+  opt.max_evals = 40;
+  const OptimizeOutcome out = partition_and_optimize(
+      *ts, sc.m, *prepared,
+      optimize_seed_options(session, all_placement_kinds()), rng.fork(3),
+      opt);
+
+  EXPECT_GT(prepared->binds(), 0);
+  // Each bind diffs every task exactly once.
+  EXPECT_EQ(prepared->diffs_unchanged() + prepared->diffs_invalidated(),
+            prepared->binds() * ts->size());
+  if (out.stats.evals > 0) {
+    // The search ran: the move-local diffs must have certified at least
+    // some tasks unchanged (the optimizer's skip opportunity), and every
+    // search-side reuse is bounded by what the oracle certified.
+    EXPECT_GT(prepared->diffs_unchanged(), 0);
+    EXPECT_LE(out.stats.tasks_reused, prepared->diffs_unchanged());
+  }
+}
+
+// ---------- engine integration ---------------------------------------------
+
+TEST(OptSweep, ColumnLayoutAndPairedNeverBelowStrategyColumns) {
+  SweepOptions options;
+  options.samples_per_point = 6;
+  options.seed = 42;
+  options.norm_utilizations = {0.45, 0.55};
+  options.placements = all_placement_kinds();
+  options.optimize_evals = 60;
+  const SweepResult result =
+      run_sweep({fig2_scenario('a'), fig2_scenario('c')},
+                {AnalysisKind::kDpcpPEn, AnalysisKind::kFedFp}, options);
+
+  ASSERT_EQ(result.curves.size(), 2u);
+  // EN fans out per strategy plus the optimizer column; FED-FP is
+  // placement-insensitive and stays bare.
+  ASSERT_EQ(result.curves[0].names,
+            (std::vector<std::string>{
+                "DPCP-p-EN@wfd", "DPCP-p-EN@ffd", "DPCP-p-EN@bfd",
+                "DPCP-p-EN@sync", "DPCP-p-EN@wfd-maxmiss",
+                "DPCP-p-EN@opt60", "FED-FP"}));
+  EXPECT_EQ(result.column_opt,
+            (std::vector<char>{0, 0, 0, 0, 0, 1, 0}));
+  EXPECT_EQ(result.column_placement[5], "opt60");
+  EXPECT_EQ(result.optimize_evals, 60);
+
+  // Paired comparison: at every (scenario, point), the optimizer column
+  // accepts at least as much as every strategy column.
+  for (const AcceptanceCurve& curve : result.curves)
+    for (std::size_t p = 0; p < curve.utilization.size(); ++p)
+      for (std::size_t a = 0; a < 5; ++a)
+        EXPECT_GE(curve.accepted[5][p], curve.accepted[a][p])
+            << curve.scenario.name() << " point " << p << " strategy " << a;
+}
+
+TEST(OptSweep, ThreadCountByteIdentityCsvAndJson) {
+  SweepOptions options;
+  options.samples_per_point = 5;
+  options.seed = 42;
+  options.norm_utilizations = {0.5, 0.6};
+  options.optimize_evals = 50;
+  const std::vector<Scenario> scenarios{fig2_scenario('a'),
+                                        fig2_scenario('c')};
+  const std::vector<AnalysisKind> kinds{AnalysisKind::kDpcpPEp,
+                                        AnalysisKind::kFedFp};
+
+  options.threads = 1;
+  const SweepResult one = run_sweep(scenarios, kinds, options);
+  options.threads = 8;
+  const SweepResult eight = run_sweep(scenarios, kinds, options);
+
+  EXPECT_EQ(sweep_to_csv(one), sweep_to_csv(eight));
+  EXPECT_EQ(sweep_to_json(one), sweep_to_json(eight));
+}
+
+}  // namespace
+}  // namespace dpcp

@@ -46,6 +46,30 @@ TEST(Parse, EnforcesRange) {
   EXPECT_FALSE(parse_int("-1", 0, 100).has_value());
 }
 
+TEST(Parse, UintCoversFullUint64Range) {
+  // The documented seed range is uint64; the historical parse_int route
+  // silently rejected everything above INT64_MAX.
+  EXPECT_EQ(parse_uint("0"), 0ull);
+  EXPECT_EQ(parse_uint("42"), 42ull);
+  EXPECT_EQ(parse_uint("9223372036854775808"),
+            9'223'372'036'854'775'808ull);            // INT64_MAX + 1
+  EXPECT_EQ(parse_uint("18446744073709551615"), UINT64_MAX);
+}
+
+TEST(Parse, UintRejectsSignsGarbageAndOverflow) {
+  EXPECT_FALSE(parse_uint("").has_value());
+  EXPECT_FALSE(parse_uint("-1").has_value());   // strtoull would wrap
+  EXPECT_FALSE(parse_uint("+5").has_value());   // digits only
+  EXPECT_FALSE(parse_uint(" 5").has_value());
+  EXPECT_FALSE(parse_uint("5 ").has_value());
+  EXPECT_FALSE(parse_uint("12abc").has_value());
+  EXPECT_FALSE(parse_uint("0x10").has_value());
+  EXPECT_FALSE(parse_uint("18446744073709551616").has_value());  // 2^64
+  EXPECT_FALSE(parse_uint("5", 10, 20).has_value());
+  EXPECT_FALSE(parse_uint("21", 10, 20).has_value());
+  EXPECT_EQ(parse_uint("15", 10, 20), 15ull);
+}
+
 TEST(Parse, Doubles) {
   EXPECT_DOUBLE_EQ(*parse_double("0.5"), 0.5);
   EXPECT_DOUBLE_EQ(*parse_double("1e-3"), 1e-3);
