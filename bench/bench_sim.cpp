@@ -1,21 +1,40 @@
-// Microbenchmarks of the DPCP-p runtime simulator, plus a Lemma-1 soak
-// counter: simulated events per second and the observed maximum number of
-// lower-priority blockers per request across many random workloads.
-#include <benchmark/benchmark.h>
+// Simulator throughput per clock backend, plus a Lemma-1 soak counter:
+// runs the same prepared workloads under the event backend (next-event
+// jumps) and the legacy quantum backend (dense per-quantum walk) across
+// several utilization points, reporting simulated jobs per wall-clock
+// second for each and the event/quantum speedup.  The speedup is largest
+// at low utilization, where the dense walk burns ticks on idle processors
+// the event core skips entirely.
+//
+// Usage: bench_sim [--json PATH] [--reps N]
+//        (env: DPCP_SEED default 42)
+//
+// --json writes a machine-readable summary consumed by the CI
+// release-sweep job's BENCH_sweep.json artifact (key "simulator_bench").
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "core/dpcp.hpp"
+#include "io/taskset_io.hpp"
+#include "util/parse.hpp"
 
-namespace dpcp {
+using namespace dpcp;
+
 namespace {
 
-struct Prepared {
+struct Workload {
   TaskSet ts;
   Partition part;
 };
 
-Prepared prepare(int seed, double util) {
-  for (;; ++seed) {
-    Rng rng(static_cast<std::uint64_t>(seed));
+/// A few DPCP-p-ready task sets at the given total utilization (m = 16,
+/// the paper's mid scenario), skipping infeasible draws deterministically.
+std::vector<Workload> prepare(double util, int count, std::uint64_t seed) {
+  std::vector<Workload> out;
+  for (int s = 0; static_cast<int>(out.size()) < count; ++s) {
+    Rng rng(seed + static_cast<std::uint64_t>(s));
     GenParams params;
     params.scenario.m = 16;
     params.scenario.p_r = 0.75;
@@ -25,66 +44,144 @@ Prepared prepare(int seed, double util) {
     auto part = initial_federated_partition(*ts, 16);
     if (!part) continue;
     if (!wfd_assign_resources(*ts, *part).feasible) continue;
-    return Prepared{std::move(*ts), std::move(*part)};
+    out.push_back(Workload{std::move(*ts), std::move(*part)});
   }
+  return out;
 }
 
-void BM_SimulateHorizon(benchmark::State& state) {
-  const Prepared p = prepare(3, 6.0);
-  SimConfig cfg;
-  cfg.horizon = millis(state.range(0));
-  std::int64_t requests = 0;
-  for (auto _ : state) {
-    const SimResult r = simulate(p.ts, p.part, cfg);
-    requests += r.global_requests_completed;
-    benchmark::DoNotOptimize(r);
-  }
-  state.counters["requests/iter"] =
-      static_cast<double>(requests) / static_cast<double>(state.iterations());
-}
-BENCHMARK(BM_SimulateHorizon)
-    ->Arg(50)
-    ->Arg(200)
-    ->Arg(500)
-    ->Unit(benchmark::kMillisecond);
+struct BackendSample {
+  double jobs_per_sec = 0.0;
+  double events_per_sec = 0.0;
+  std::int64_t clock_advances = 0;
+  std::int64_t processor_polls = 0;
+};
 
-void BM_SimulateCheckersOverhead(benchmark::State& state) {
-  const Prepared p = prepare(3, 6.0);
-  SimConfig cfg;
-  cfg.horizon = millis(200);
-  cfg.run_checkers = state.range(0) != 0;
-  for (auto _ : state)
-    benchmark::DoNotOptimize(simulate(p.ts, p.part, cfg));
-  state.SetLabel(cfg.run_checkers ? "checkers-on" : "checkers-off");
-}
-BENCHMARK(BM_SimulateCheckersOverhead)
-    ->Arg(0)
-    ->Arg(1)
-    ->Unit(benchmark::kMillisecond);
-
-/// Not a timing benchmark: a soak run validating Lemma 1 across seeds; the
-/// reported counter is the worst observed lower-priority blocker count
-/// (must be <= 1).
-void BM_Lemma1Soak(benchmark::State& state) {
-  int worst = 0;
+struct SoakCounters {
+  int max_lp_blockers = 0;
   std::int64_t violations = 0;
-  int seed = 100;
-  for (auto _ : state) {
-    const Prepared p = prepare(seed++, 7.0);
-    SimConfig cfg;
-    cfg.horizon = millis(100);
-    cfg.seed = static_cast<std::uint64_t>(seed);
-    const SimResult r = simulate(p.ts, p.part, cfg);
-    worst = std::max(worst, r.max_lower_priority_blockers);
-    violations += r.lemma1_violations + r.mutual_exclusion_violations +
-                  r.ceiling_violations + r.work_conserving_violations;
+};
+
+BackendSample run_backend(const std::vector<Workload>& workloads,
+                          SimBackend backend, int reps, SoakCounters* soak) {
+  SimConfig cfg;
+  cfg.backend = backend;
+  cfg.horizon = millis(100);
+  std::int64_t jobs = 0, events = 0;
+  BackendSample sample;
+  const auto start = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r) {
+    for (const Workload& w : workloads) {
+      const SimResult res = simulate(w.ts, w.part, cfg);
+      for (const TaskSimStats& t : res.task) jobs += t.jobs_completed;
+      events += res.events_processed;
+      sample.clock_advances += res.clock_advances;
+      sample.processor_polls += res.processor_polls;
+      if (soak) {
+        soak->max_lp_blockers =
+            std::max(soak->max_lp_blockers, res.max_lower_priority_blockers);
+        soak->violations += res.lemma1_violations +
+                            res.mutual_exclusion_violations +
+                            res.ceiling_violations +
+                            res.work_conserving_violations;
+      }
+    }
   }
-  state.counters["max_lp_blockers"] = worst;
-  state.counters["violations"] = static_cast<double>(violations);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  sample.jobs_per_sec =
+      seconds > 0 ? static_cast<double>(jobs) / seconds : 0.0;
+  sample.events_per_sec =
+      seconds > 0 ? static_cast<double>(events) / seconds : 0.0;
+  return sample;
 }
-BENCHMARK(BM_Lemma1Soak)->Unit(benchmark::kMillisecond)->Iterations(20);
 
 }  // namespace
-}  // namespace dpcp
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path;
+  int reps = 5;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+      continue;
+    }
+    if (arg == "--reps" && i + 1 < argc) {
+      const auto v = parse_int(argv[++i], 1, 1 << 20);
+      if (!v) {
+        std::fprintf(stderr, "bench_sim: invalid --reps '%s'\n", argv[i]);
+        return 2;
+      }
+      reps = static_cast<int>(*v);
+      continue;
+    }
+    std::fprintf(stderr,
+                 "bench_sim: expected --json PATH or --reps N, got '%s'\n",
+                 arg.c_str());
+    return 2;
+  }
+  const SweepOptions env = sweep_options_from_env(/*default_samples=*/1);
+
+  // Normalized utilization points over m = 16; the low point is where the
+  // acceptance criterion lives (event backend >= 5x quantum jobs/sec).
+  const std::vector<double> norm_utils{0.1, 0.25, 0.5, 0.75};
+  std::printf(
+      "=== Simulator throughput: event vs quantum backend, %d reps, "
+      "100 ms horizon, seed %llu ===\n",
+      reps, static_cast<unsigned long long>(env.seed));
+
+  Table table({"norm-util", "backend", "jobs/sec", "events/sec",
+               "clock-advances", "polls", "speedup"});
+  SoakCounters soak;
+  std::string json_points;
+  double low_util_speedup = 0.0;
+  for (const double nu : norm_utils) {
+    const auto workloads = prepare(nu * 16.0, /*count=*/5, env.seed);
+    const BackendSample ev =
+        run_backend(workloads, SimBackend::kEvent, reps, &soak);
+    const BackendSample qu =
+        run_backend(workloads, SimBackend::kQuantum, reps, &soak);
+    const double speedup =
+        qu.jobs_per_sec > 0 ? ev.jobs_per_sec / qu.jobs_per_sec : 0.0;
+    if (nu == norm_utils.front()) low_util_speedup = speedup;
+    table.add_row({strfmt("%.2f", nu), "event",
+                   strfmt("%.0f", ev.jobs_per_sec),
+                   strfmt("%.0f", ev.events_per_sec),
+                   strfmt("%lld", static_cast<long long>(ev.clock_advances)),
+                   strfmt("%lld", static_cast<long long>(ev.processor_polls)),
+                   strfmt("%.1fx", speedup)});
+    table.add_row({"", "quantum", strfmt("%.0f", qu.jobs_per_sec),
+                   strfmt("%.0f", qu.events_per_sec),
+                   strfmt("%lld", static_cast<long long>(qu.clock_advances)),
+                   strfmt("%lld", static_cast<long long>(qu.processor_polls)),
+                   ""});
+    if (!json_points.empty()) json_points += ",\n  ";
+    json_points += strfmt(
+        "{\"norm_util\": %.2f, \"event_jobs_per_sec\": %.0f, "
+        "\"quantum_jobs_per_sec\": %.0f, \"speedup\": %.2f}",
+        nu, ev.jobs_per_sec, qu.jobs_per_sec, speedup);
+  }
+  std::fputs(table.to_text().c_str(), stdout);
+  std::printf(
+      "soak: max lower-priority blockers %d (Lemma 1 asserts <= 1), "
+      "%lld invariant violations\n",
+      soak.max_lp_blockers, static_cast<long long>(soak.violations));
+
+  if (!json_path.empty()) {
+    const std::string json = strfmt(
+        "{\"reps\": %d, \"horizon_ms\": 100,\n"
+        " \"points\": [%s],\n"
+        " \"low_util_speedup\": %.2f,\n"
+        " \"max_lp_blockers\": %d, \"invariant_violations\": %lld}\n",
+        reps, json_points.c_str(), low_util_speedup, soak.max_lp_blockers,
+        static_cast<long long>(soak.violations));
+    std::string error;
+    if (!write_text_file(json_path, json, &error)) {
+      std::fprintf(stderr, "bench_sim: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return soak.violations == 0 ? 0 : 1;
+}

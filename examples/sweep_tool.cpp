@@ -70,6 +70,10 @@ int usage(const char* argv0) {
       "  --sim-mode M      worst | random: worst-case periodic releases or\n"
       "                    jittered arrivals with scaled executions\n"
       "                    (default: worst)\n"
+      "  --sim-backend B   event | quantum: simulator clock backend --\n"
+      "                    next-event jumps or the legacy dense per-quantum\n"
+      "                    walk; results are identical, only speed differs\n"
+      "                    (default: event)\n"
       "  --csv PATH        write long-format CSV\n"
       "  --json PATH       write JSON\n"
       "  --curves          print per-scenario acceptance tables\n"
@@ -192,6 +196,19 @@ int main(int argc, char** argv) {
       else if (mode == "random") options.sim.mode = SimSweepMode::kRandom;
       else { std::fprintf(stderr, "--sim-mode: expected worst|random, got '%s'\n", mode.c_str()); return usage(argv[0]); }
     }
+    else if (arg == "--sim-backend") {
+      // Same contract as --placement: a garbled backend token is a hard
+      // usage error, never a silent fall-back to the default backend.
+      const std::string token = value();
+      const auto backend = parse_sim_backend(token);
+      if (!backend) {
+        std::fprintf(stderr,
+                     "--sim-backend: expected event|quantum, got '%s'\n",
+                     token.c_str());
+        return usage(argv[0]);
+      }
+      options.sim.backend = *backend;
+    }
     else if (arg == "--csv") csv_path = value();
     else if (arg == "--json") json_path = value();
     else if (arg == "--curves") want_curves = true;
@@ -240,7 +257,8 @@ int main(int argc, char** argv) {
                    "budgeted local search)\n",
                    static_cast<long long>(options.optimize_evals));
     if (options.sim.enabled || options.sim.validate)
-      std::fprintf(stderr, "sim backend: horizon %lld ms, %s mode%s\n",
+      std::fprintf(stderr, "sim: %s backend, horizon %lld ms, %s mode%s\n",
+                   sim_backend_name(options.sim.backend),
                    static_cast<long long>(options.sim.horizon / kMillisecond),
                    options.sim.mode == SimSweepMode::kWorst ? "worst-case"
                                                             : "randomized",

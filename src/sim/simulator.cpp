@@ -9,24 +9,11 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "sim/event_queue.hpp"
 #include "util/rng.hpp"
 
 namespace dpcp {
 namespace {
-
-enum class EventKind { kRelease, kSegmentDone };
-
-struct Event {
-  Time time = 0;
-  std::int64_t seq = 0;  // stable tie-break
-  EventKind kind = EventKind::kRelease;
-  int a = 0;                 // task (release) or processor (segment done)
-  std::uint64_t token = 0;   // dispatch validity (segment done)
-  bool operator>(const Event& o) const {
-    if (time != o.time) return time > o.time;
-    return seq > o.seq;
-  }
-};
 
 struct JobState {
   int task = -1;
@@ -94,8 +81,7 @@ struct Simulator::Impl {
   Rng rng;
 
   std::vector<TaskPlan> plans;
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
-  std::int64_t next_seq = 0;
+  EventQueue events;
   std::uint64_t next_token = 1;
   Time now = 0;
 
@@ -176,8 +162,9 @@ struct Simulator::Impl {
   }
 
   // ---- event plumbing ---------------------------------------------------
-  void push_event(Time t, EventKind kind, int a, std::uint64_t token = 0) {
-    events.push(Event{t, next_seq++, kind, a, token});
+  void push_event(Time t, SimEventKind kind, int subject,
+                  std::uint64_t token = 0) {
+    events.schedule(t, kind, subject, token);
   }
 
   // ---- job lifecycle ----------------------------------------------------
@@ -214,7 +201,7 @@ struct Simulator::Impl {
     Time next = now + t.period();
     if (cfg.release_jitter > 0)
       next += rng.uniform_int(0, cfg.release_jitter);
-    if (next <= cfg.horizon) push_event(next, EventKind::kRelease, task_idx);
+    if (next <= cfg.horizon) push_event(next, SimEventKind::kJobRelease, task_idx);
   }
 
   /// A vertex whose predecessors all finished becomes pending; route its
@@ -555,7 +542,7 @@ struct Simulator::Impl {
     p.request = req_id;
     p.token = next_token++;
     dispatch_time_[static_cast<std::size_t>(pid)] = now;
-    push_event(now + req.remaining, EventKind::kSegmentDone, pid, p.token);
+    push_event(now + req.remaining, SimEventKind::kSegmentDone, pid, p.token);
     record(TraceKind::kAgentDispatch, req.task, req.job, req.vertex, pid,
            req.resource);
     // Lemma-1 bookkeeping: this agent blocks every pending higher-priority
@@ -581,7 +568,7 @@ struct Simulator::Impl {
     p.token = next_token++;
     dispatch_time_[static_cast<std::size_t>(pid)] = now;
     push_event(now + job.seg_remaining[static_cast<std::size_t>(vertex)],
-               EventKind::kSegmentDone, pid, p.token);
+               SimEventKind::kSegmentDone, pid, p.token);
     const Segment& seg =
         job.segments[static_cast<std::size_t>(vertex)][static_cast<std::size_t>(
             job.seg_index[static_cast<std::size_t>(vertex)])];
@@ -722,32 +709,71 @@ struct Simulator::Impl {
   SimResult run() {
     dispatch_time_.assign(static_cast<std::size_t>(part.num_processors()), 0);
     for (int i = 0; i < ts.size(); ++i)
-      push_event(0, EventKind::kRelease, i);
+      push_event(0, SimEventKind::kJobRelease, i);
 
-    while (!events.empty()) {
-      const Event e = events.top();
-      events.pop();
-      if (e.time > cfg.hard_stop) {
-        result.drained = false;
-        result.end_time = now;
-        finalize();
-        return result;
-      }
-      now = e.time;
-      switch (e.kind) {
-        case EventKind::kRelease:
-          release_job(e.a);
-          break;
-        case EventKind::kSegmentDone:
-          handle_segment_done(e.a, e.token);
-          break;
-      }
-      reschedule();
-    }
+    const bool truncated = cfg.backend == SimBackend::kQuantum
+                               ? run_quantum()
+                               : run_event();
     result.end_time = now;
-    result.drained = jobs.empty();
+    result.drained = truncated ? false : jobs.empty();
     finalize();
     return result;
+  }
+
+  /// kEvent driver: jump the clock straight to the next pending event.
+  /// Returns true when the run was truncated by `hard_stop`.
+  bool run_event() {
+    while (!events.empty()) {
+      if (events.next_time() > cfg.hard_stop) return true;
+      ++result.clock_advances;
+      process_event(events.pop());
+    }
+    return false;
+  }
+
+  /// kQuantum driver: walk the clock densely one quantum at a time,
+  /// polling every processor each tick; due events still fire at their
+  /// exact timestamps, so the protocol machine sees the identical
+  /// sequence of (time, event) pairs as under run_event().
+  bool run_quantum() {
+    if (cfg.quantum <= 0)
+      throw std::invalid_argument(
+          "SimConfig::quantum must be positive for the quantum backend");
+    Time clock = 0;
+    while (!events.empty()) {
+      const Time due = events.next_time();
+      if (due > cfg.hard_stop) return true;
+      while (clock < due) {
+        clock = std::min<Time>(clock + cfg.quantum, due);
+        ++result.clock_advances;
+        for (const Processor& p : procs)
+          result.processor_polls += (p.occ != Occupant::kIdle);
+      }
+      process_event(events.pop());
+    }
+    return false;
+  }
+
+  void process_event(const SimEvent& e) {
+    ++result.events_processed;
+    if (cfg.max_events > 0 && result.events_processed > cfg.max_events)
+      throw std::runtime_error(
+          "simulator progress guard tripped: more than " +
+          std::to_string(cfg.max_events) +
+          " events processed (simulated time " + std::to_string(e.time) +
+          " ns, backend " + sim_backend_name(cfg.backend) +
+          ") -- the protocol machine is scheduling events without "
+          "retiring workload");
+    now = e.time;
+    switch (e.kind) {
+      case SimEventKind::kJobRelease:
+        release_job(e.subject);
+        break;
+      case SimEventKind::kSegmentDone:
+        handle_segment_done(e.subject, e.token);
+        break;
+    }
+    reschedule();
   }
 
   void finalize() {

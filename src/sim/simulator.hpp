@@ -14,6 +14,13 @@
 // Built-in checkers validate Lemma 1 (a request is blocked by at most one
 // lower-priority request), mutual exclusion, the ceiling gate and
 // work-conservation on every run.
+//
+// One protocol state machine, two clock drivers (SimConfig::backend): the
+// default event backend jumps the clock between entries of the global
+// EventQueue (sim/event_queue.hpp); the legacy quantum backend walks the
+// clock densely one quantum at a time, firing the same events at the same
+// timestamps.  Results are identical by construction; only SimResult's
+// clock_advances / processor_polls throughput counters differ.
 #pragma once
 
 #include <vector>

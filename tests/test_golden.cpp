@@ -115,6 +115,42 @@ TEST(Golden, OptimizerColumnAcceptanceCounts) {
   EXPECT_EQ(result.opt_stats[1][1][0].search_accepts, 0);
 }
 
+// The simulator's two clock backends are behavior-identical by
+// construction (one protocol machine, two clock drivers), so a full
+// --sim --validate sweep — the sim observation column, the cross-check
+// verdicts, the response-ratio gap statistics — must render to
+// byte-identical CSV and JSON whichever backend ran it.  Ditto for the
+// worker-thread count on the event backend: results are keyed by
+// (scenario, point, sample) sub-streams, never by scheduling order.
+TEST(Golden, SimValidateSweepByteIdenticalAcrossBackendsAndThreads) {
+  auto run_with = [](SimBackend backend, int threads) {
+    SweepOptions options;
+    options.samples_per_point = 4;
+    options.seed = 42;
+    options.threads = threads;
+    options.norm_utilizations = {0.4, 0.6};
+    options.sim.enabled = true;
+    options.sim.validate = true;
+    options.sim.horizon = millis(20);
+    options.sim.mode = SimSweepMode::kRandom;  // jitter/scaling paths too
+    options.sim.backend = backend;
+    const SweepResult result = run_sweep(
+        {fig2_scenario('a'), fig2_scenario('c')},
+        {AnalysisKind::kDpcpPEp, AnalysisKind::kSpinSon}, options);
+    return std::make_pair(sweep_to_csv(result), sweep_to_json(result));
+  };
+
+  const auto event = run_with(SimBackend::kEvent, /*threads=*/8);
+  const auto quantum = run_with(SimBackend::kQuantum, /*threads=*/8);
+  EXPECT_EQ(event.first, quantum.first) << "CSV differs across backends";
+  EXPECT_EQ(event.second, quantum.second) << "JSON differs across backends";
+
+  const auto single = run_with(SimBackend::kEvent, /*threads=*/1);
+  EXPECT_EQ(event.first, single.first) << "CSV differs across thread counts";
+  EXPECT_EQ(event.second, single.second)
+      << "JSON differs across thread counts";
+}
+
 // The full 216-scenario grid at 1 sample/point, seed 42: the long-format
 // CSV must stay byte-identical to the pre-refactor output (hash and size
 // recorded from commit bc24c1f).  This is the bit-exactness contract of
