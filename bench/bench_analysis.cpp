@@ -27,7 +27,7 @@ void BM_PathSignatureEnumeration(benchmark::State& state) {
   for (auto _ : state) {
     for (int i = 0; i < ts.size(); ++i) {
       const auto r = enumerate_path_signatures(ts.task(i));
-      signatures += static_cast<std::int64_t>(r.signatures.size());
+      signatures += static_cast<std::int64_t>(r.size());
       paths += r.paths_visited;
       benchmark::DoNotOptimize(r);
     }

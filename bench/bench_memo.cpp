@@ -3,10 +3,19 @@
 // (Fig. 2(b): m=32, p_r=1), where every path signature probes the
 // per-(resource, intra-ahead) memo once per processor term.
 //
-// Usage: bench_memo [repeats]   (env: DPCP_SAMPLES, default 20 task sets)
+// Two timed variants:
+//   * stateless — the historical per-call oracle (fresh tables each call);
+//   * prepared  — the session pipeline (arena slabs + epoch-cleared memo),
+//     the path every sweep actually runs.
+//
+// Usage: bench_memo [repeats] [--json]   (env: DPCP_SAMPLES, default 20)
+// With --json, a machine-readable report goes to stdout — including the
+// memo hit/miss counters and arena occupancy when the build has
+// -DDPCP_CACHE_INSTRUMENT=ON (zeros otherwise, flagged by "instrumented").
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "core/dpcp.hpp"
 
@@ -15,7 +24,12 @@ using namespace dpcp;
 int main(int argc, char** argv) {
   const AcceptanceOptions env = options_from_env(/*default_samples=*/20);
   const int sets = env.samples_per_point;
-  const int repeats = argc > 1 ? std::max(1, std::atoi(argv[1])) : 5;
+  bool json = false;
+  int repeats = 5;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+    else repeats = std::max(1, std::atoi(argv[i]));
+  }
 
   Scenario sc = fig2_scenario('b');
   DpcpPAnalysis ep(DpcpPAnalysis::PathMode::kEnumerate);
@@ -37,29 +51,104 @@ int main(int argc, char** argv) {
     parts.push_back(std::move(*part));
   }
 
-  Time sink = 0;
-  const auto start = std::chrono::steady_clock::now();
-  std::size_t calls = 0;
-  for (int r = 0; r < repeats; ++r) {
+  const auto run_stateless = [&](Time* sink, std::size_t* calls) {
+    const auto start = std::chrono::steady_clock::now();
+    for (int r = 0; r < repeats; ++r) {
+      for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const TaskSet& ts = workloads[w];
+        std::vector<Time> hints;
+        for (int i = 0; i < ts.size(); ++i)
+          hints.push_back(ts.task(i).deadline());
+        for (int i = 0; i < ts.size(); ++i) {
+          const auto b = ep.wcrt(ts, parts[w], i, hints);
+          if (b) *sink ^= *b;
+          ++*calls;
+        }
+      }
+    }
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+
+  // The prepared variant mirrors a sweep: one session per task set, one
+  // bind, then the repeated queries hit the arena-backed tables and the
+  // epoch-cleared response memo.  Counters accumulate into `agg`.
+  std::uint64_t memo_hits = 0, memo_misses = 0;
+  std::size_t arena_live = 0, arena_high = 0;
+  const auto run_prepared = [&](Time* sink, std::size_t* calls) {
+    const auto start = std::chrono::steady_clock::now();
     for (std::size_t w = 0; w < workloads.size(); ++w) {
       const TaskSet& ts = workloads[w];
+      AnalysisSession session(ts);
+      auto prepared = ep.prepare(session);
+      prepared->bind(parts[w]);
       std::vector<Time> hints;
       for (int i = 0; i < ts.size(); ++i)
         hints.push_back(ts.task(i).deadline());
-      for (int i = 0; i < ts.size(); ++i) {
-        const auto b = ep.wcrt(ts, parts[w], i, hints);
-        if (b) sink ^= *b;
-        ++calls;
+      for (int r = 0; r < repeats; ++r) {
+        for (int i = 0; i < ts.size(); ++i) {
+          const auto b = prepared->wcrt(i, hints);
+          if (b) *sink ^= *b;
+          ++*calls;
+        }
       }
+      memo_hits += session.stats().memo_hits();
+      memo_misses += session.stats().memo_misses();
+      arena_live += session.arena().live_bytes();
+      arena_high += session.arena().high_water();
     }
-  }
-  const auto elapsed = std::chrono::duration<double>(
-      std::chrono::steady_clock::now() - start);
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
 
-  std::printf("bench_memo: %zu task sets, %d repeats, %zu wcrt calls\n",
-              workloads.size(), repeats, calls);
-  std::printf("total %.3f s, %.3f ms/call  (checksum %lld)\n",
-              elapsed.count(), 1e3 * elapsed.count() / (calls ? calls : 1),
-              static_cast<long long>(sink));
+  Time sink_a = 0, sink_b = 0;
+  std::size_t calls_a = 0, calls_b = 0;
+  const double stateless_s = run_stateless(&sink_a, &calls_a);
+  const double prepared_s = run_prepared(&sink_b, &calls_b);
+  const std::uint64_t probes = memo_hits + memo_misses;
+  const double hit_rate =
+      probes ? static_cast<double>(memo_hits) / static_cast<double>(probes)
+             : 0.0;
+
+  if (json) {
+    std::printf(
+        "{\n"
+        "  \"task_sets\": %zu,\n"
+        "  \"repeats\": %d,\n"
+        "  \"stateless\": {\"wall_seconds\": %.6f, \"calls\": %zu},\n"
+        "  \"prepared\": {\"wall_seconds\": %.6f, \"calls\": %zu},\n"
+        "  \"instrumented\": %s,\n"
+        "  \"memo_hits\": %llu,\n"
+        "  \"memo_misses\": %llu,\n"
+        "  \"memo_hit_rate\": %.4f,\n"
+        "  \"arena_live_bytes\": %zu,\n"
+        "  \"arena_high_water_bytes\": %zu,\n"
+        "  \"checksum\": %lld\n"
+        "}\n",
+        workloads.size(), repeats, stateless_s, calls_a, prepared_s, calls_b,
+        CacheStats::enabled() ? "true" : "false",
+        static_cast<unsigned long long>(memo_hits),
+        static_cast<unsigned long long>(memo_misses), hit_rate, arena_live,
+        arena_high, static_cast<long long>(sink_a ^ sink_b));
+    return 0;
+  }
+
+  std::printf("bench_memo: %zu task sets, %d repeats\n", workloads.size(),
+              repeats);
+  std::printf("stateless: total %.3f s, %.3f ms/call (%zu calls)\n",
+              stateless_s, 1e3 * stateless_s / (calls_a ? calls_a : 1),
+              calls_a);
+  std::printf("prepared:  total %.3f s, %.3f ms/call (%zu calls)\n",
+              prepared_s, 1e3 * prepared_s / (calls_b ? calls_b : 1),
+              calls_b);
+  if (CacheStats::enabled())
+    std::printf("memo: %llu hits / %llu misses (%.1f%% hit rate), "
+                "arena high-water %zu bytes (summed over sessions)\n",
+                static_cast<unsigned long long>(memo_hits),
+                static_cast<unsigned long long>(memo_misses), 1e2 * hit_rate,
+                arena_high);
+  std::printf("(checksum %lld)\n", static_cast<long long>(sink_a ^ sink_b));
   return 0;
 }

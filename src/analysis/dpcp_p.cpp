@@ -2,53 +2,156 @@
 
 #include <algorithm>
 #include <cassert>
-#include <unordered_map>
 #include <utility>
 
 #include "analysis/rta_common.hpp"
 #include "model/paths.hpp"
 #include "util/fixed_point.hpp"
+#include "util/instrument.hpp"
 
 namespace dpcp {
 namespace {
 
-/// Hash for the (resource, intra-ahead) key of the Lemma-2 response memo.
-/// Flat probing beats the former std::map's pointer chasing on the hot
-/// path; the splitmix-style mix spreads the Time component so consecutive
-/// intra-ahead values do not cluster.
-struct ResourceTimeHash {
-  std::size_t operator()(const std::pair<ResourceId, Time>& k) const {
-    std::uint64_t h = static_cast<std::uint64_t>(k.second) +
+/// Open-addressed (resource, intra-ahead) -> response memo for Lemma 2.
+/// One table per prepared analysis, cleared per wcrt() query by bumping an
+/// epoch (slots whose epoch tag is stale read as empty, so a clear is O(1)
+/// and the table's flat parallel arrays stay hot across queries instead of
+/// being reallocated like the per-query unordered_map they replace).
+/// Values encode "request misses the deadline" (nullopt) as -1; real
+/// response times are always >= 0.
+class ResponseMemoTable {
+ public:
+  ResponseMemoTable() { rebuild(kInitialSlots); }
+
+  void new_query() {
+    if (++epoch_ == 0) {
+      // u32 epoch wrapped: stale tags could alias; hard-reset once per 4G
+      // queries.
+      std::fill(epochs_.begin(), epochs_.end(), 0u);
+      epoch_ = 1;
+    }
+    live_ = 0;
+  }
+
+  /// Pointer to the stored value for (q, ahead), or nullptr if absent this
+  /// query.
+  const Time* find(ResourceId q, Time ahead) const {
+    std::size_t i = hash(q, ahead) & mask_;
+    for (;;) {
+      if (epochs_[i] != epoch_) return nullptr;
+      if (q_[i] == q && ahead_[i] == ahead) return &val_[i];
+      i = (i + 1) & mask_;
+    }
+  }
+
+  void insert(ResourceId q, Time ahead, Time encoded) {
+    if ((live_ + 1) * 10 >= epochs_.size() * 7) grow();
+    std::size_t i = hash(q, ahead) & mask_;
+    while (epochs_[i] == epoch_) i = (i + 1) & mask_;
+    epochs_[i] = epoch_;
+    q_[i] = q;
+    ahead_[i] = ahead;
+    val_[i] = encoded;
+    ++live_;
+  }
+
+ private:
+  static constexpr std::size_t kInitialSlots = 256;  // power of two
+
+  static std::size_t hash(ResourceId q, Time ahead) {
+    std::uint64_t h = static_cast<std::uint64_t>(ahead) +
                       0x9E3779B97F4A7C15ull *
-                          (static_cast<std::uint64_t>(k.first) + 1);
+                          (static_cast<std::uint64_t>(q) + 1);
     h ^= h >> 30;
     h *= 0xBF58476D1CE4E5B9ull;
     h ^= h >> 27;
     return static_cast<std::size_t>(h);
   }
+
+  void rebuild(std::size_t slots) {
+    epochs_.assign(slots, 0u);
+    q_.assign(slots, 0);
+    ahead_.assign(slots, 0);
+    val_.assign(slots, 0);
+    mask_ = slots - 1;
+    epoch_ = 1;
+  }
+
+  void grow() {
+    std::vector<std::uint32_t> old_epochs = std::move(epochs_);
+    std::vector<ResourceId> old_q = std::move(q_);
+    std::vector<Time> old_ahead = std::move(ahead_);
+    std::vector<Time> old_val = std::move(val_);
+    const std::uint32_t old_epoch = epoch_;
+    rebuild(old_epochs.size() * 2);
+    for (std::size_t i = 0; i < old_epochs.size(); ++i) {
+      if (old_epochs[i] != old_epoch) continue;
+      std::size_t j = hash(old_q[i], old_ahead[i]) & mask_;
+      while (epochs_[j] == epoch_) j = (j + 1) & mask_;
+      epochs_[j] = epoch_;
+      q_[j] = old_q[i];
+      ahead_[j] = old_ahead[i];
+      val_[j] = old_val[i];
+    }
+  }
+
+  // Parallel slot arrays (SoA): the probe loop touches epochs_ + keys
+  // only; values load on a confirmed hit.
+  std::vector<std::uint32_t> epochs_;
+  std::vector<ResourceId> q_;
+  std::vector<Time> ahead_;
+  std::vector<Time> val_;
+  std::size_t mask_ = 0;
+  std::size_t live_ = 0;
+  std::uint32_t epoch_ = 1;
 };
 
-using ResponseMemo = std::unordered_map<std::pair<ResourceId, Time>,
-                                        std::optional<Time>, ResourceTimeHash>;
+constexpr Time kMissedDeadline = -1;  // encoded nullopt in the memo
 
 /// Partition-dependent tables of one task (the Lemma 2-6 inputs), valid
-/// for the currently bound partition while !dirty.
+/// for the currently bound partition while !dirty.  All contender lists
+/// are flat SoA slabs with cached periods (see DemandSoA); the
+/// per-processor lists are ranges into shared arrays rather than
+/// per-processor heap vectors.
 struct TaskTables {
   bool dirty = true;
   int mi = 1;
   bool shares_processor = false;
-  std::vector<ProcessorContention> contention;
+
+  /// One entry per processor hosting globals (the ProcessorContention
+  /// flattening): beta/own_demand inline, globals and demand lists as
+  /// [begin, end) ranges into the arrays below.
+  struct Proc {
+    Time beta = 0;
+    Time own_demand = 0;
+    std::uint32_t gbeg = 0, gend = 0;  // range in globals
+    std::uint32_t hbeg = 0, hend = 0;  // range in hp
+    std::uint32_t obeg = 0, oend = 0;  // range in other
+  };
+  std::vector<Proc> procs;
+  std::vector<ResourceId> globals;
+  DemandSoA hp;     // higher-priority demand, all processors back-to-back
+  DemandSoA other;  // all-other-task demand, likewise
+
   /// Phi^p(tau_i): global resources hosted by tau_i's own cluster.
   std::vector<ResourceId> cluster_globals;
   /// Per-task agent demand those globals attract (Lemma 6).
-  std::vector<std::pair<int, Time>> agent_demand;
+  DemandSoA agent;
   /// P-FP preemption by co-located higher-priority tasks (Sec. VI).
-  std::vector<std::pair<int, Time>> preempt_demand;
+  DemandSoA preempt;
+
   /// Memo of the last query against these tables: with identical hints the
   /// bound is identical (the analysis is pure in (tables, hint)).
   bool have_result = false;
   std::vector<Time> last_hint;
   std::optional<Time> last_result;
+};
+
+/// Per-processor Lemma-3 eps term, rebuilt per path_bound() call in a
+/// scratch vector owned by the prepared object (reused across queries).
+struct ProcTermScratch {
+  Time eps = 0;
+  const TaskTables::Proc* pc = nullptr;
 };
 
 /// One wcrt() query: evaluates Theorem 1 path bounds against cached tables
@@ -57,31 +160,45 @@ struct TaskTables {
 class QueryContext {
  public:
   QueryContext(const TaskSet& ts, int i, const TaskTables& tables,
-               const std::vector<ResourceId>& my_locals,
-               const std::vector<ResourceId>& used,
-               const std::vector<Time>& hint)
+               const Slab<ResourceId>& my_locals,
+               const Slab<ResourceId>& used, const std::vector<Time>& hint,
+               ResponseMemoTable& memo, CacheStats& stats,
+               std::vector<ProcTermScratch>& proc_terms)
       : ts_(ts),
         ti_(ts.task(i)),
         tables_(tables),
         my_locals_(my_locals),
         used_(used),
         hint_(hint),
-        deadline_(ts.task(i).deadline()) {}
+        deadline_(ts.task(i).deadline()),
+        memo_(memo),
+        stats_(stats),
+        proc_terms_(proc_terms) {
+    memo_.new_query();
+  }
 
   /// Lemma 2: response time of a request from tau_i to q, where
   /// `intra_ahead` = sum over globals co-hosted with q of the *off-path*
   /// request demand (N_{i,u} - N^lambda_{i,u}) L_{i,u}.
-  std::optional<Time> request_response(const ProcessorContention& pc,
+  std::optional<Time> request_response(const TaskTables::Proc& pc,
                                        ResourceId q, Time intra_ahead) {
-    const auto key = std::make_pair(q, intra_ahead);
-    if (auto it = w_memo_.find(key); it != w_memo_.end()) return it->second;
+    if (const Time* v = memo_.find(q, intra_ahead)) {
+      DPCP_STAT(stats_.memo_hits_n += 1);
+      if (*v == kMissedDeadline) return std::nullopt;
+      return *v;
+    }
+    DPCP_STAT(stats_.memo_misses_n += 1);
     const Time own_cs = ti_.usage(q).cs_length;
+    const std::size_t hn = pc.hend - pc.hbeg;
     auto f = [&](Time w) {
-      return own_cs + intra_ahead + pc.beta + gamma(pc, ts_, hint_, w);
+      return own_cs + intra_ahead + pc.beta +
+             window_demand(tables_.hp.task.data() + pc.hbeg,
+                           tables_.hp.demand.data() + pc.hbeg,
+                           tables_.hp.period.data() + pc.hbeg, hn, hint_, w);
     };
     const auto fp = solve_fixed_point(f, f(0), deadline_);
     const std::optional<Time> w = fp.value;
-    w_memo_.emplace(key, w);
+    memo_.insert(q, intra_ahead, w ? *w : kMissedDeadline);
     return w;
   }
 
@@ -92,15 +209,16 @@ class QueryContext {
                                  bool envelope) {
     // ---- per-processor epsilon (Lemma 3) and global intra blocking b^G
     // (Lemma 4) -- constants w.r.t. the outer recurrence.
-    std::vector<ProcTerm>& proc_terms = proc_terms_;
+    std::vector<ProcTermScratch>& proc_terms = proc_terms_;
     proc_terms.clear();
     Time b_global = 0;
-    for (const auto& pc : tables_.contention) {
+    for (const TaskTables::Proc& pc : tables_.procs) {
       // Off-path demand of tau_i on this processor's globals, and
       // sigma_{i,k}: does the path request a global on this processor?
       Time off_path = 0;
       bool sigma = false;
-      for (ResourceId u : pc.globals) {
+      for (std::uint32_t g = pc.gbeg; g < pc.gend; ++g) {
+        const ResourceId u = tables_.globals[g];
         const auto& use = ti_.usage(u);
         if (!use.used()) continue;
         const int on_path = envelope ? 0 : nlam[static_cast<std::size_t>(u)];
@@ -110,9 +228,10 @@ class QueryContext {
       }
       if (envelope) sigma = pc.own_demand > 0;
 
-      ProcTerm term;
+      ProcTermScratch term;
       term.pc = &pc;
-      for (ResourceId q : pc.globals) {
+      for (std::uint32_t g = pc.gbeg; g < pc.gend; ++g) {
+        const ResourceId q = tables_.globals[g];
         const auto& use = ti_.usage(q);
         if (!use.used()) continue;
         const int mult =
@@ -120,8 +239,12 @@ class QueryContext {
         if (mult == 0) continue;
         const auto w = request_response(pc, q, off_path);
         if (!w) return std::nullopt;  // a single request misses the deadline
-        term.eps += static_cast<Time>(mult) *
-                    (pc.beta + gamma(pc, ts_, hint_, *w));
+        term.eps +=
+            static_cast<Time>(mult) *
+            (pc.beta + window_demand(tables_.hp.task.data() + pc.hbeg,
+                                     tables_.hp.demand.data() + pc.hbeg,
+                                     tables_.hp.period.data() + pc.hbeg,
+                                     pc.hend - pc.hbeg, hint_, *w));
       }
       if (sigma) b_global += off_path;
       proc_terms.push_back(term);
@@ -181,40 +304,33 @@ class QueryContext {
     auto f = [&](Time r) {
       Time blocking = 0;
       for (const auto& term : proc_terms) {
-        Time zeta = 0;
-        for (const auto& [j, demand] : term.pc->other_task_demand)
-          zeta += eta(r, hint_[static_cast<std::size_t>(j)],
-                      ts_.task(j).period()) *
-                  demand;
+        const TaskTables::Proc& pc = *term.pc;
+        const Time zeta =
+            window_demand(tables_.other.task.data() + pc.obeg,
+                          tables_.other.demand.data() + pc.obeg,
+                          tables_.other.period.data() + pc.obeg,
+                          pc.oend - pc.obeg, hint_, r);
         blocking += std::min(term.eps, zeta);
       }
-      Time ia = ia_const;
-      for (const auto& [j, demand] : tables_.agent_demand)
-        ia += eta(r, hint_[static_cast<std::size_t>(j)],
-                  ts_.task(j).period()) *
-              demand;
+      const Time ia = ia_const + window_demand(tables_.agent, hint_, r);
       return path_len + blocking + b_local + b_global +
              div_ceil(i_intra + ia, tables_.mi) +
-             preemption(tables_.preempt_demand, ts_, hint_, r);
+             window_demand(tables_.preempt, hint_, r);
     };
     return solve_fixed_point(f, path_len, deadline_).value;
   }
 
  private:
-  struct ProcTerm {
-    Time eps = 0;
-    const ProcessorContention* pc = nullptr;
-  };
-
   const TaskSet& ts_;
   const DagTask& ti_;
   const TaskTables& tables_;
-  const std::vector<ResourceId>& my_locals_;
-  const std::vector<ResourceId>& used_;  // ti_.used_resources(), cached
+  const Slab<ResourceId>& my_locals_;
+  const Slab<ResourceId>& used_;  // ti_.used_resources(), session slab
   const std::vector<Time>& hint_;
   const Time deadline_;
-  ResponseMemo w_memo_;
-  std::vector<ProcTerm> proc_terms_;  // per-call scratch, reused
+  ResponseMemoTable& memo_;
+  CacheStats& stats_;
+  std::vector<ProcTermScratch>& proc_terms_;  // per-prepared scratch, reused
 };
 
 class DpcpPPrepared final : public PreparedAnalysis {
@@ -224,8 +340,7 @@ class DpcpPPrepared final : public PreparedAnalysis {
       : PreparedAnalysis(session),
         mode_(mode),
         options_(options),
-        tables_(static_cast<std::size_t>(ts_.size())),
-        statics_(static_cast<std::size_t>(ts_.size())) {}
+        tables_(static_cast<std::size_t>(ts_.size())) {}
 
   std::optional<Time> wcrt(int task,
                            const std::vector<Time>& hint) override {
@@ -261,52 +376,64 @@ class DpcpPPrepared final : public PreparedAnalysis {
   }
 
  private:
-  /// Partition-independent per-task lists (session lifetime, lazy).
-  struct TaskStatics {
-    bool ready = false;
-    std::vector<ResourceId> used;       // used_resources()
-    std::vector<ResourceId> my_locals;  // the local subset
-  };
-
-  const TaskStatics& statics(int task) {
-    TaskStatics& st = statics_[static_cast<std::size_t>(task)];
-    if (!st.ready) {
-      st.used = ts_.task(task).used_resources();
-      for (ResourceId q : st.used)
-        if (ts_.is_local(q)) st.my_locals.push_back(q);
-      st.ready = true;
-    }
-    return st;
-  }
-
   void rebuild(int task, TaskTables& tb) {
     const Partition& part = partition();
+    const Time* periods = session_.periods();
     tb.mi = part.cluster_size(task);
     assert(tb.mi >= 1);
     tb.shares_processor = part.task_shares_processor(task);
-    tb.contention = build_processor_contention(ts_, part, task);
+
+    // Flatten the per-processor contention views into the shared SoA
+    // arrays (rebuild is rare — only when bind() reports changed inputs —
+    // so the intermediate AoS from build_processor_contention is fine).
+    tb.procs.clear();
+    tb.globals.clear();
+    tb.hp.clear();
+    tb.other.clear();
+    for (const ProcessorContention& pc :
+         build_processor_contention(ts_, part, task)) {
+      TaskTables::Proc p;
+      p.beta = pc.beta;
+      p.own_demand = pc.own_demand;
+      p.gbeg = static_cast<std::uint32_t>(tb.globals.size());
+      tb.globals.insert(tb.globals.end(), pc.globals.begin(),
+                        pc.globals.end());
+      p.gend = static_cast<std::uint32_t>(tb.globals.size());
+      p.hbeg = static_cast<std::uint32_t>(tb.hp.size());
+      for (const auto& [j, d] : pc.higher_priority_demand)
+        tb.hp.add(j, d, periods[static_cast<std::size_t>(j)]);
+      p.hend = static_cast<std::uint32_t>(tb.hp.size());
+      p.obeg = static_cast<std::uint32_t>(tb.other.size());
+      for (const auto& [j, d] : pc.other_task_demand)
+        tb.other.add(j, d, periods[static_cast<std::size_t>(j)]);
+      p.oend = static_cast<std::uint32_t>(tb.other.size());
+      tb.procs.push_back(p);
+    }
 
     tb.cluster_globals.clear();
     for (ResourceId q : part.resources_on_cluster(task))
       if (ts_.is_global(q)) tb.cluster_globals.push_back(q);
-    tb.agent_demand.clear();
+    tb.agent.clear();
     for (int j = 0; j < ts_.size(); ++j) {
       if (j == task) continue;
       Time demand = 0;
       for (ResourceId q : tb.cluster_globals)
         demand += ts_.task(j).usage(q).demand();
-      if (demand > 0) tb.agent_demand.emplace_back(j, demand);
+      if (demand > 0)
+        tb.agent.add(j, demand, periods[static_cast<std::size_t>(j)]);
     }
 
-    tb.preempt_demand = preemption_demand(ts_, part, task);
+    tb.preempt.assign(preemption_demand(ts_, part, task), periods);
     tb.dirty = false;
   }
 
   std::optional<Time> compute(int task, const TaskTables& tb,
                               const std::vector<Time>& hint) {
     const DagTask& ti = ts_.task(task);
-    const TaskStatics& st = statics(task);
-    QueryContext ctx(ts_, task, tb, st.my_locals, st.used, hint);
+    const Slab<ResourceId>& used = session_.used_resources(task);
+    const Slab<ResourceId>& my_locals = session_.local_resources(task);
+    QueryContext ctx(ts_, task, tb, my_locals, used, hint, memo_,
+                     session_.stats(), proc_terms_);
     const std::vector<int> no_requests;  // envelope ignores nlam
 
     if (tb.shares_processor) {
@@ -318,7 +445,7 @@ class DpcpPPrepared final : public PreparedAnalysis {
       // outer recurrence.
       std::vector<int> all_requests(
           static_cast<std::size_t>(ti.num_resources()), 0);
-      for (ResourceId q : st.used)
+      for (ResourceId q : used)
         all_requests[static_cast<std::size_t>(q)] = ti.usage(q).max_requests;
       return ctx.path_bound(ti.wcet(), all_requests, /*envelope=*/false);
     }
@@ -328,10 +455,9 @@ class DpcpPPrepared final : public PreparedAnalysis {
                             /*envelope=*/true);
     }
 
-    const PathEnumResult& paths = session_.paths(task, options_.max_paths);
+    const PathSlab& paths = session_.paths(task, options_.max_paths);
     if (paths.truncated ||
-        static_cast<std::int64_t>(paths.signatures.size()) >
-            options_.max_signatures) {
+        static_cast<std::int64_t>(paths.size()) > options_.max_signatures) {
       // Path space too large: fall back to the envelope, which dominates
       // every per-path bound (sound, possibly pessimistic).
       return ctx.path_bound(ti.longest_path_length(), no_requests,
@@ -340,12 +466,17 @@ class DpcpPPrepared final : public PreparedAnalysis {
 
     Time worst = 0;
     std::vector<int> nlam(static_cast<std::size_t>(ti.num_resources()), 0);
-    for (const PathSignature& sig : paths.signatures) {
+    // Walk the SoA class slab: lengths sequentially, request vectors as
+    // one contiguous strided array (scattered into nlam's resource-id
+    // positions, which the bound terms index by resource).
+    const std::size_t stride = paths.stride;
+    for (std::size_t i = 0; i < paths.size(); ++i) {
       std::fill(nlam.begin(), nlam.end(), 0);
-      for (std::size_t k = 0; k < paths.resource_index.size(); ++k)
-        nlam[static_cast<std::size_t>(paths.resource_index[k])] =
-            sig.requests[k];
-      const auto r = ctx.path_bound(sig.length, nlam, /*envelope=*/false);
+      const int* req = paths.requests_of(i);
+      for (std::size_t k = 0; k < stride; ++k)
+        nlam[static_cast<std::size_t>(paths.resource_index[k])] = req[k];
+      const auto r =
+          ctx.path_bound(paths.lengths[i], nlam, /*envelope=*/false);
       if (!r) return std::nullopt;
       worst = std::max(worst, *r);
     }
@@ -355,7 +486,8 @@ class DpcpPPrepared final : public PreparedAnalysis {
   const DpcpPAnalysis::PathMode mode_;
   const DpcpPOptions options_;
   std::vector<TaskTables> tables_;
-  std::vector<TaskStatics> statics_;
+  ResponseMemoTable memo_;
+  std::vector<ProcTermScratch> proc_terms_;
 };
 
 }  // namespace

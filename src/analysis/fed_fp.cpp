@@ -19,14 +19,15 @@ class FedFpPrepared final : public PreparedAnalysis {
     const DagTask& ti = ts_.task(task);
     if (st.dirty) {
       st.base = federated_wcrt_bound(ti, partition().cluster_size(task));
-      st.preempt_demand = preemption_demand(ts_, partition(), task);
+      st.preempt.assign(preemption_demand(ts_, partition(), task),
+                        session_.periods());
       st.dirty = false;
     }
     // Heavy tasks own their cluster: the preemption demand is empty and the
     // recurrence collapses to the plain federated bound.  Light tasks on
     // shared processors additionally suffer P-FP preemption (Sec. VI).
     auto f = [&](Time r) {
-      return st.base + preemption(st.preempt_demand, ts_, hint, r);
+      return st.base + window_demand(st.preempt, hint, r);
     };
     return solve_fixed_point(f, st.base, ti.deadline()).value;
   }
@@ -47,7 +48,7 @@ class FedFpPrepared final : public PreparedAnalysis {
   struct State {
     bool dirty = true;
     Time base = 0;
-    std::vector<std::pair<int, Time>> preempt_demand;
+    DemandSoA preempt;
   };
   std::vector<State> state_;
 };

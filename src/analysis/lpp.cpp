@@ -52,7 +52,8 @@ class LppPrepared final : public PreparedAnalysis {
     State& st = state_[static_cast<std::size_t>(task)];
     if (st.dirty) {
       st.mi = partition().cluster_size(task);
-      st.preempt_demand = preemption_demand(ts_, partition(), task);
+      st.preempt.assign(preemption_demand(ts_, partition(), task),
+                        session_.periods());
       st.dirty = false;
     }
 
@@ -64,13 +65,12 @@ class LppPrepared final : public PreparedAnalysis {
     // window.  Intra-task queueing (the task's own off-path requests
     // serialising on l_q) is charged once per resource, mirroring Lemma 4
     // rather than per request (which would be quadratically pessimistic).
-    std::vector<std::pair<std::size_t, Time>> per_request;  // (idx, N*(X-L))
-    for (std::size_t k = 0; k < ps.resources.size(); ++k) {
-      const ResourceStatic& rs = ps.resources[k];
-      const auto x = inner_response(rs, ti.deadline(), hint);
+    request_bound_.clear();  // per resource k: N * (X - L)
+    for (std::size_t k = 0; k < ps.q.size(); ++k) {
+      const auto x = inner_response(ps, k, ti.deadline(), hint);
       if (!x) return std::nullopt;
-      per_request.emplace_back(
-          k, static_cast<Time>(rs.max_requests) * (*x - rs.cs_length));
+      request_bound_.push_back(static_cast<Time>(ps.max_requests[k]) *
+                               (*x - ps.cs_length[k]));
     }
 
     const Time lstar = ti.longest_path_length();
@@ -80,13 +80,13 @@ class LppPrepared final : public PreparedAnalysis {
     // (Sec. VI extension).
     auto f = [&](Time r) {
       Time wait = 0;
-      for (const auto& [k, request_bound] : per_request) {
-        Time window_demand = 0;
-        for (const auto& [j, demand] : ps.resources[k].contenders)
-          window_demand += eta(r, hint[static_cast<std::size_t>(j)],
-                               ts_.task(j).period()) *
-                           demand;
-        wait += std::min(request_bound, window_demand);
+      for (std::size_t k = 0; k < request_bound_.size(); ++k) {
+        const std::uint32_t cb = ps.coff[k], ce = ps.coff[k + 1];
+        const Time wd =
+            window_demand(ps.contenders.task.data() + cb,
+                          ps.contenders.demand.data() + cb,
+                          ps.contenders.period.data() + cb, ce - cb, hint, r);
+        wait += std::min(request_bound_[k], wd);
       }
       // Partially suspension-oblivious accounting: the time vertices spend
       // suspended on locks is additionally charged as interfering demand at
@@ -96,7 +96,7 @@ class LppPrepared final : public PreparedAnalysis {
       // paper reports for the original analyses of [6]/[11], whose exact
       // formulas are not available here (see DESIGN.md section 3).
       return base + wait + div_ceil(wait, 2) +
-             preemption(st.preempt_demand, ts_, hint, r);
+             window_demand(st.preempt, hint, r);
     };
     return solve_fixed_point(f, base, ti.deadline()).value;
   }
@@ -115,51 +115,59 @@ class LppPrepared final : public PreparedAnalysis {
   }
 
  private:
-  /// Partition-independent per-resource data of one task's analysis.
-  struct ResourceStatic {
-    ResourceId q = 0;
-    int max_requests = 0;
-    Time cs_length = 0;
-    /// Lower-priority blocking bound beta (progress mechanism).
-    Time beta = 0;
-    /// Higher-priority requests served ahead in the queue: (j, N*L).
-    std::vector<std::pair<int, Time>> higher;
-    /// Every other user of l_q: (j, N*L), for the window-demand cap.
-    std::vector<std::pair<int, Time>> contenders;
-  };
+  /// Partition-independent per-resource data of one task's analysis, SoA
+  /// over the used_resources() order.  The higher-priority and all-
+  /// contender lists of all resources live back-to-back in shared
+  /// DemandSoA arrays, sliced by hoff/coff ranges.
   struct TaskStatics {
     bool ready = false;
-    std::vector<ResourceStatic> resources;  // in used_resources() order
+    std::vector<ResourceId> q;
+    std::vector<int> max_requests;
+    std::vector<Time> cs_length;
+    /// Lower-priority blocking bound beta (progress mechanism).
+    std::vector<Time> beta;
+    std::vector<std::uint32_t> hoff;  // higher-priority ranges
+    DemandSoA higher;
+    std::vector<std::uint32_t> coff;  // contender ranges
+    DemandSoA contenders;
     /// Own off-path queueing charged once per resource (Lemma-4 mirror).
     Time intra = 0;
   };
   struct State {
     bool dirty = true;
     int mi = 1;
-    std::vector<std::pair<int, Time>> preempt_demand;
+    DemandSoA preempt;
   };
 
   const TaskStatics& prepared_statics(int task) {
     TaskStatics& ps = statics_[static_cast<std::size_t>(task)];
     if (ps.ready) return ps;
     const DagTask& ti = ts_.task(task);
-    for (ResourceId q : ti.used_resources()) {
-      ResourceStatic rs;
-      rs.q = q;
-      rs.max_requests = ti.usage(q).max_requests;
-      rs.cs_length = ti.usage(q).cs_length;
+    const Time* periods = session_.periods();
+    ps.hoff.push_back(0);
+    ps.coff.push_back(0);
+    for (ResourceId q : session_.used_resources(task)) {
+      ps.q.push_back(q);
+      ps.max_requests.push_back(ti.usage(q).max_requests);
+      ps.cs_length.push_back(ti.usage(q).cs_length);
+      Time beta = 0;
       for (int j = 0; j < ts_.size(); ++j) {
         if (j == task) continue;
         const auto& use = ts_.task(j).usage(q);
         if (!use.used()) continue;
         if (ts_.task(j).priority() < ti.priority())
-          rs.beta = std::max(rs.beta, use.cs_length);
+          beta = std::max(beta, use.cs_length);
         else if (ts_.task(j).priority() > ti.priority())
-          rs.higher.emplace_back(j, use.demand());
-        rs.contenders.emplace_back(j, use.demand());
+          ps.higher.add(j, use.demand(),
+                        periods[static_cast<std::size_t>(j)]);
+        ps.contenders.add(j, use.demand(),
+                          periods[static_cast<std::size_t>(j)]);
       }
-      ps.intra += static_cast<Time>(rs.max_requests - 1) * rs.cs_length;
-      ps.resources.push_back(std::move(rs));
+      ps.beta.push_back(beta);
+      ps.hoff.push_back(static_cast<std::uint32_t>(ps.higher.size()));
+      ps.coff.push_back(static_cast<std::uint32_t>(ps.contenders.size()));
+      ps.intra += static_cast<Time>(ti.usage(q).max_requests - 1) *
+                  ti.usage(q).cs_length;
     }
     ps.ready = true;
     return ps;
@@ -167,21 +175,23 @@ class LppPrepared final : public PreparedAnalysis {
 
   /// The inner Lemma-2-style recurrence over precomputed contender lists;
   /// identical to the static request_response().
-  std::optional<Time> inner_response(const ResourceStatic& rs, Time deadline,
+  std::optional<Time> inner_response(const TaskStatics& ps, std::size_t k,
+                                     Time deadline,
                                      const std::vector<Time>& hint) const {
+    const std::uint32_t hb = ps.hoff[k], he = ps.hoff[k + 1];
+    const Time constant = ps.cs_length[k] + ps.beta[k];
     auto f = [&](Time x) {
-      Time higher = 0;
-      for (const auto& [j, demand] : rs.higher)
-        higher += eta(x, hint[static_cast<std::size_t>(j)],
-                      ts_.task(j).period()) *
-                  demand;
-      return rs.cs_length + rs.beta + higher;
+      return constant + window_demand(ps.higher.task.data() + hb,
+                                      ps.higher.demand.data() + hb,
+                                      ps.higher.period.data() + hb, he - hb,
+                                      hint, x);
     };
     return solve_fixed_point(f, f(0), deadline).value;
   }
 
   std::vector<TaskStatics> statics_;
   std::vector<State> state_;
+  std::vector<Time> request_bound_;  // per-query scratch, reused
 };
 
 }  // namespace

@@ -1,30 +1,55 @@
 #include "analysis/prepared.hpp"
 
+#include <algorithm>
+
+#include "util/instrument.hpp"
+
 namespace dpcp {
 
 PreparedAnalysis::PreparedAnalysis(AnalysisSession& session)
     : session_(session),
       ts_(session.taskset()),
-      inputs_(static_cast<std::size_t>(session.taskset().size())),
       unchanged_(static_cast<std::size_t>(session.taskset().size()), 0) {}
 
 void PreparedAnalysis::bind(const Partition& part) {
   WcrtOracle::bind(part);
   ++binds_;
+  const std::size_t n = static_cast<std::size_t>(ts_.size());
+
+  // Serialize this round's inputs for all tasks into one flat stream.
+  cur_tokens_.clear();
+  cur_off_.clear();
+  cur_off_.reserve(n + 1);
+  for (int i = 0; i < ts_.size(); ++i) {
+    cur_off_.push_back(static_cast<std::uint32_t>(cur_tokens_.size()));
+    partition_inputs(part, i, &cur_tokens_);
+  }
+  cur_off_.push_back(static_cast<std::uint32_t>(cur_tokens_.size()));
+
+  // Span-vs-span diff against the previous round.
   for (int i = 0; i < ts_.size(); ++i) {
     const std::size_t ui = static_cast<std::size_t>(i);
-    scratch_.clear();
-    partition_inputs(part, i, &scratch_);
-    if (bound_once_ && scratch_ == inputs_[ui]) {
+    bool same = bound_once_;
+    if (same) {
+      const std::uint32_t cb = cur_off_[ui], ce = cur_off_[ui + 1];
+      const std::uint32_t pb = prev_off_[ui], pe = prev_off_[ui + 1];
+      same = (ce - cb) == (pe - pb) &&
+             std::equal(cur_tokens_.begin() + cb, cur_tokens_.begin() + ce,
+                        prev_tokens_.begin() + pb);
+    }
+    if (same) {
       unchanged_[ui] = 1;
       ++diffs_unchanged_;
+      DPCP_STAT(session_.stats().slab_reuses_n += 1);
     } else {
       unchanged_[ui] = 0;
-      inputs_[ui] = scratch_;
       invalidate(i);
       ++diffs_invalidated_;
+      DPCP_STAT(session_.stats().slab_rebuilds_n += 1);
     }
   }
+  prev_tokens_.swap(cur_tokens_);
+  prev_off_.swap(cur_off_);
   bound_once_ = true;
 }
 

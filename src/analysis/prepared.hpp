@@ -14,6 +14,7 @@
 // structures dropped through the invalidate() hook.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "analysis/session.hpp"
@@ -67,9 +68,14 @@ class PreparedAnalysis : public WcrtOracle {
   const TaskSet& ts_;
 
  private:
-  std::vector<std::vector<Time>> inputs_;
+  // Double-buffered flat token streams: the previous round's inputs live
+  // concatenated in prev_tokens_ with per-task [prev_off_[i], prev_off_[i+1])
+  // ranges; each bind() serializes into cur_* and diffs span-against-span,
+  // then the buffers swap.  One allocation steady-state per bind instead of
+  // one vector copy per changed task.
+  std::vector<Time> prev_tokens_, cur_tokens_;
+  std::vector<std::uint32_t> prev_off_, cur_off_;
   std::vector<char> unchanged_;
-  std::vector<Time> scratch_;
   bool bound_once_ = false;
   std::int64_t binds_ = 0;
   std::int64_t diffs_unchanged_ = 0;

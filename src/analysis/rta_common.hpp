@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "model/taskset.hpp"
@@ -15,6 +16,57 @@ namespace dpcp {
 inline std::int64_t eta(Time window, Time response, Time period) {
   if (window < 0) window = 0;
   return div_ceil(window + response, period);
+}
+
+/// Flat (task, demand, period) triples for the RTA window terms, in
+/// structure-of-arrays layout.  Every fixed-point iteration of every
+/// analysis evaluates sums of  eta(window, R_j, T_j) * demand_j ; caching
+/// T_j next to the demand turns the inner loop into three parallel slab
+/// reads (plus the hint load) instead of a DagTask pointer chase per
+/// contender per iteration.
+struct DemandSoA {
+  std::vector<int> task;
+  std::vector<Time> demand;
+  std::vector<Time> period;
+
+  std::size_t size() const { return task.size(); }
+  bool empty() const { return task.empty(); }
+  void clear() {
+    task.clear();
+    demand.clear();
+    period.clear();
+  }
+  void add(int j, Time d, Time t) {
+    task.push_back(j);
+    demand.push_back(d);
+    period.push_back(t);
+  }
+  /// Rebuild from (task, demand) pairs, looking periods up in the flat
+  /// `periods` table (AnalysisSession::periods()).
+  void assign(const std::vector<std::pair<int, Time>>& pairs,
+              const Time* periods) {
+    clear();
+    for (const auto& [j, d] : pairs)
+      add(j, d, periods[static_cast<std::size_t>(j)]);
+  }
+};
+
+/// sum_k eta(window, hint[task[k]], period[k]) * demand[k] over parallel
+/// arrays (a DemandSoA or a CSR-style slice of one).
+inline Time window_demand(const int* task, const Time* demand,
+                          const Time* period, std::size_t n,
+                          const std::vector<Time>& hint, Time window) {
+  Time total = 0;
+  for (std::size_t k = 0; k < n; ++k)
+    total += eta(window, hint[static_cast<std::size_t>(task[k])], period[k]) *
+             demand[k];
+  return total;
+}
+
+inline Time window_demand(const DemandSoA& d, const std::vector<Time>& hint,
+                          Time window) {
+  return window_demand(d.task.data(), d.demand.data(), d.period.data(),
+                       d.size(), hint, window);
 }
 
 /// Per-processor view of the global resources relevant to one task's

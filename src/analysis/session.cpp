@@ -4,20 +4,32 @@
 
 namespace dpcp {
 
-const PathEnumResult& AnalysisSession::paths(int task,
-                                             std::int64_t max_paths) {
+const PathSlab& AnalysisSession::paths(int task, std::int64_t max_paths) {
   const std::size_t ut = static_cast<std::size_t>(task);
-  if (paths_.size() < ts_.tasks().size()) {
-    paths_.resize(ts_.tasks().size());
-    paths_budget_.resize(ts_.tasks().size(), 0);
-  }
-  if (!paths_[ut] || paths_budget_[ut] != max_paths) {
-    paths_[ut] = std::make_unique<PathEnumResult>(
-        enumerate_path_signatures(ts_.task(task), max_paths));
-    paths_budget_[ut] = max_paths;
-    ++path_enumerations_;
-  }
-  return *paths_[ut];
+  if (paths_.size() < ts_.tasks().size()) paths_.resize(ts_.tasks().size());
+
+  for (const auto& entry : paths_[ut])
+    if (entry->budget == max_paths) return entry->slab;
+
+  // Miss: enumerate into temporary SoA vectors, then move the slabs into
+  // the arena (write-once: path results never change for a fixed budget).
+  if (!paths_[ut].empty()) ++budget_reenumerations_;
+  const PathEnumResult r =
+      enumerate_path_signatures(ts_.task(task), max_paths);
+  ++path_enumerations_;
+
+  auto entry = std::make_unique<PathsEntry>();
+  entry->budget = max_paths;
+  PathSlab& slab = entry->slab;
+  slab.lengths = arena_.copy(r.lengths).data;
+  slab.requests = arena_.copy(r.requests).data;
+  slab.resource_index = arena_.copy(r.resource_index).data;
+  slab.count = r.size();
+  slab.stride = r.stride();
+  slab.paths_visited = r.paths_visited;
+  slab.truncated = r.truncated;
+  paths_[ut].push_back(std::move(entry));
+  return paths_[ut].back()->slab;
 }
 
 const std::vector<int>& AnalysisSession::priority_order() {
@@ -26,6 +38,40 @@ const std::vector<int>& AnalysisSession::priority_order() {
     order_ready_ = true;
   }
   return order_;
+}
+
+void AnalysisSession::ensure_task_tables() {
+  if (task_tables_ready_) return;
+  const std::size_t n = static_cast<std::size_t>(ts_.size());
+  periods_ = arena_.alloc<Time>(n);
+  used_.resize(n);
+  locals_.resize(n);
+  std::vector<ResourceId> locals_tmp;
+  for (int i = 0; i < ts_.size(); ++i) {
+    const std::size_t ui = static_cast<std::size_t>(i);
+    periods_[ui] = ts_.task(i).period();
+    used_[ui] = arena_.copy(ts_.task(i).used_resources());
+    locals_tmp.clear();
+    for (ResourceId q : used_[ui])
+      if (ts_.is_local(q)) locals_tmp.push_back(q);
+    locals_[ui] = arena_.copy(locals_tmp);
+  }
+  task_tables_ready_ = true;
+}
+
+const Time* AnalysisSession::periods() {
+  ensure_task_tables();
+  return periods_.data;
+}
+
+const Slab<ResourceId>& AnalysisSession::used_resources(int task) {
+  ensure_task_tables();
+  return used_[static_cast<std::size_t>(task)];
+}
+
+const Slab<ResourceId>& AnalysisSession::local_resources(int task) {
+  ensure_task_tables();
+  return locals_[static_cast<std::size_t>(task)];
 }
 
 }  // namespace dpcp

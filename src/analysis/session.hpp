@@ -7,11 +7,19 @@
 // (paired) task set:
 //
 //   * complete-path signatures per task (the exponential DAG enumeration
-//     that dominated DPCP-p-EP's cost when recomputed per wcrt() call);
-//   * the decreasing-priority analysis order of Algorithm 1.
+//     that dominated DPCP-p-EP's cost when recomputed per wcrt() call),
+//     stored as arena-backed SoA slabs;
+//   * the decreasing-priority analysis order of Algorithm 1;
+//   * flat per-task period and used/local-resource tables shared by all
+//     analysis kinds (the RTA inner loops read periods per contender per
+//     fixed-point iteration — a slab load instead of a task-object chase).
 //
-// The experiment engine constructs one session per generated task set and
-// hands it to all five analyses; see SchedAnalysis::prepare().
+// The session owns a BumpArena; see util/arena.hpp for the lifetime rules
+// (write-once, session-lifetime data only).  The experiment engine
+// constructs one session per generated task set and hands it to all five
+// analyses; see SchedAnalysis::prepare().  Sessions are single-threaded:
+// the engine's coordinate batching runs all columns of one task set
+// against one session on one worker.
 #pragma once
 
 #include <cstdint>
@@ -23,8 +31,27 @@
 #include "model/paths.hpp"
 #include "model/taskset.hpp"
 #include "partition/partitioner.hpp"
+#include "util/arena.hpp"
+#include "util/instrument.hpp"
 
 namespace dpcp {
+
+/// Arena-backed SoA view of one task's path-signature classes: class i has
+/// max length `lengths[i]` and request vector
+/// `requests[i*stride .. (i+1)*stride)` over `resource_index`.  Mirrors
+/// PathEnumResult (model/paths.hpp) with session-owned storage.
+struct PathSlab {
+  const Time* lengths = nullptr;
+  const int* requests = nullptr;
+  const ResourceId* resource_index = nullptr;
+  std::size_t count = 0;
+  std::size_t stride = 0;
+  std::int64_t paths_visited = 0;
+  bool truncated = false;
+
+  std::size_t size() const { return count; }
+  const int* requests_of(std::size_t i) const { return requests + i * stride; }
+};
 
 class AnalysisSession {
  public:
@@ -37,19 +64,38 @@ class AnalysisSession {
   const TaskSet& taskset() const { return ts_; }
 
   /// Complete-path signatures of `task`, enumerated with DFS budget
-  /// `max_paths` on first use and cached for the session's lifetime.
-  /// A query with a different budget re-enumerates (and re-caches), so
-  /// results are bit-identical to calling enumerate_path_signatures()
-  /// directly; in practice every caller in one session uses one budget.
-  const PathEnumResult& paths(int task, std::int64_t max_paths);
+  /// `max_paths` on first use and cached — keyed by (task, budget) — for
+  /// the session's lifetime.  Results are bit-identical to calling
+  /// enumerate_path_signatures() directly.  In practice every caller in
+  /// one session uses one budget; a second budget enumerates once and
+  /// caches alongside (counted by budget_reenumerations(), not thrashing
+  /// the first entry like the pre-slab session did).
+  const PathSlab& paths(int task, std::int64_t max_paths);
 
   /// Task indices in decreasing base-priority order (Algorithm 1's
   /// analysis order), computed once.
   const std::vector<int>& priority_order();
 
+  /// Per-task periods as one flat slab (index = task), for the RTA window
+  /// loops.
+  const Time* periods();
+
+  /// used_resources() of `task`, computed once per session into the arena
+  /// and shared by every analysis kind.
+  const Slab<ResourceId>& used_resources(int task);
+  /// The local-resource subset of used_resources(task).
+  const Slab<ResourceId>& local_resources(int task);
+
   /// Path enumerations performed so far (telemetry: sessions exist to keep
-  /// this at <= one per task).
+  /// this at <= one per (task, budget)).
   std::int64_t path_enumerations() const { return path_enumerations_; }
+
+  /// Of those, enumerations for a task that already had results cached
+  /// under a *different* budget.  A sweep that keeps one budget per
+  /// session — every default sweep — must keep this at zero; a nonzero
+  /// value means some caller re-enumerates paths by varying max_paths
+  /// mid-session (the silent cost the old single-budget cache hid).
+  std::int64_t budget_reenumerations() const { return budget_reenumerations_; }
 
   /// Placement memo for one strategy identity (PlacementStrategy::
   /// cache_key()), shared by every analysis run on this task set.  Memos
@@ -59,14 +105,39 @@ class AnalysisSession {
     return placement_caches_[strategy_key];
   }
 
+  /// The session arena: write-once storage for analysis statics that
+  /// share the session's lifetime (see util/arena.hpp).
+  BumpArena& arena() { return arena_; }
+
+  /// Cache-instrumentation counters (no-op unless DPCP_CACHE_INSTRUMENT).
+  CacheStats& stats() { return stats_; }
+  const CacheStats& stats() const { return stats_; }
+
  private:
+  struct PathsEntry {
+    std::int64_t budget = 0;
+    PathSlab slab;
+  };
+
+  void ensure_task_tables();
+
   const TaskSet& ts_;
+  BumpArena arena_;
+  CacheStats stats_;
   std::unordered_map<std::string, PlacementCache> placement_caches_;
-  std::vector<std::unique_ptr<PathEnumResult>> paths_;
-  std::vector<std::int64_t> paths_budget_;
+  /// Per task: one entry per distinct budget (almost always exactly one).
+  /// Entries are pointer-stable (unique_ptr) so handed-out PathSlab
+  /// references survive later paths() calls; the slab data itself lives
+  /// in the arena.
+  std::vector<std::vector<std::unique_ptr<PathsEntry>>> paths_;
   std::vector<int> order_;
   bool order_ready_ = false;
+  Slab<Time> periods_;
+  std::vector<Slab<ResourceId>> used_;
+  std::vector<Slab<ResourceId>> locals_;
+  bool task_tables_ready_ = false;
   std::int64_t path_enumerations_ = 0;
+  std::int64_t budget_reenumerations_ = 0;
 };
 
 }  // namespace dpcp

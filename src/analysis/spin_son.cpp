@@ -45,7 +45,7 @@ class SpinSonPrepared final : public PreparedAnalysis {
   std::optional<Time> wcrt(int task,
                            const std::vector<Time>& hint) override {
     const DagTask& ti = ts_.task(task);
-    const TaskStatics& ps = prepared_statics(task);
+    const TaskStatics& ps = statics_[static_cast<std::size_t>(task)];
     State& st = state_[static_cast<std::size_t>(task)];
     if (st.dirty) {
       st.mi = partition().cluster_size(task);
@@ -58,22 +58,22 @@ class SpinSonPrepared final : public PreparedAnalysis {
       // puts all spin on the analysed path (coefficient 1 > 1/m), so spin
       // inflates the path only.
       st.fifo_bound.clear();
-      for (const ResourceStatic& rs : ps.resources)
+      for (std::size_t k = 0; k < ps.q.size(); ++k)
         st.fifo_bound.push_back(
-            static_cast<Time>(rs.max_requests) *
-            SpinSonAnalysis::spin_delay(ts_, partition(), task, rs.q));
-      st.preempt_demand = preemption_demand(ts_, partition(), task);
+            static_cast<Time>(ps.max_requests[k]) *
+            SpinSonAnalysis::spin_delay(ts_, partition(), task, ps.q[k]));
+      st.preempt.assign(preemption_demand(ts_, partition(), task),
+                        session_.periods());
       st.arrival_blocking = 0;
-      if (!st.preempt_demand.empty() ||
-          partition().task_shares_processor(task)) {
+      if (!st.preempt.empty() || partition().task_shares_processor(task)) {
         // Sec. VI shared processors: spinning and critical sections are
         // non-preemptable on the runtime (else lock holders deadlock), so
         // (i) a higher-priority co-located preemptor occupies the shared
         // processor for its busy-wait time too -- inflate its preemption
         // demand by its worst-case per-job spin; (ii) one already-started
         // lower-priority spin+CS chunk can block tau_i at arrival.
-        for (auto& [j, wcet] : st.preempt_demand)
-          wcet += job_spin_bound(j);
+        for (std::size_t k = 0; k < st.preempt.size(); ++k)
+          st.preempt.demand[k] += job_spin_bound(st.preempt.task[k]);
         st.arrival_blocking = max_lower_priority_chunk(task);
       }
       st.dirty = false;
@@ -83,17 +83,17 @@ class SpinSonPrepared final : public PreparedAnalysis {
     const Time base = lstar + div_ceil(ti.wcet() - lstar, st.mi);
     auto f = [&](Time r) {
       Time spin = 0;
-      for (std::size_t k = 0; k < ps.resources.size(); ++k) {
-        const ResourceStatic& rs = ps.resources[k];
-        Time window_demand = rs.own_window;
-        for (const auto& [j, demand] : rs.contenders)
-          window_demand += eta(r, hint[static_cast<std::size_t>(j)],
-                               ts_.task(j).period()) *
-                           demand;
-        spin += std::min(st.fifo_bound[k], window_demand);
+      for (std::size_t k = 0; k < ps.q.size(); ++k) {
+        const std::uint32_t cb = ps.coff[k], ce = ps.coff[k + 1];
+        const Time wd =
+            ps.own_window[k] +
+            window_demand(ps.contenders.task.data() + cb,
+                          ps.contenders.demand.data() + cb,
+                          ps.contenders.period.data() + cb, ce - cb, hint, r);
+        spin += std::min(st.fifo_bound[k], wd);
       }
       return base + st.arrival_blocking + spin +
-             preemption(st.preempt_demand, ts_, hint, r);
+             window_demand(st.preempt, hint, r);
     };
     return solve_fixed_point(f, base, ti.deadline()).value;
   }
@@ -123,18 +123,17 @@ class SpinSonPrepared final : public PreparedAnalysis {
   }
 
  private:
-  /// Partition-independent per-resource data of one task's analysis.
-  struct ResourceStatic {
-    ResourceId q = 0;
-    int max_requests = 0;
-    /// Own concurrent requests spun on once each (window-side term).
-    Time own_window = 0;
-    /// Every other user of l_q: (j, N*L), for the window-demand cap.
-    std::vector<std::pair<int, Time>> contenders;
-  };
+  /// Partition-independent per-resource data of one task's analysis, in
+  /// SoA layout (index = position in used_resources() order).  The
+  /// contender lists of all resources live back-to-back in one DemandSoA;
+  /// coff[k]..coff[k+1] delimits resource k's slice.
   struct TaskStatics {
-    bool ready = false;
-    std::vector<ResourceStatic> resources;  // in used_resources() order
+    std::vector<ResourceId> q;
+    std::vector<int> max_requests;
+    /// Own concurrent requests spun on once each (window-side term).
+    std::vector<Time> own_window;
+    std::vector<std::uint32_t> coff;  // contender ranges, q.size()+1 entries
+    DemandSoA contenders;
     /// Sorted union of tasks sharing any resource with tau_i.
     std::vector<int> contender_tasks;
   };
@@ -142,21 +141,17 @@ class SpinSonPrepared final : public PreparedAnalysis {
     bool dirty = true;
     int mi = 1;
     std::vector<Time> fifo_bound;  // N_{i,q} * spin_delay, per resource
-    /// Co-located higher-priority (task, C_j + per-job spin) pairs.
-    std::vector<std::pair<int, Time>> preempt_demand;
+    /// Co-located higher-priority (task, C_j + per-job spin) demand.
+    DemandSoA preempt;
     /// One non-preemptable lower-priority spin+CS chunk (Sec. VI).
     Time arrival_blocking = 0;
   };
-
-  const TaskStatics& prepared_statics(int task) const {
-    return statics_[static_cast<std::size_t>(task)];
-  }
 
   /// Worst-case processor time task j busy-waits per job: one FIFO spin
   /// bound per request, summed over its resources.
   Time job_spin_bound(int j) const {
     Time total = 0;
-    for (ResourceId q : ts_.task(j).used_resources())
+    for (ResourceId q : session_.used_resources(j))
       total += static_cast<Time>(ts_.task(j).usage(q).max_requests) *
                SpinSonAnalysis::spin_delay(ts_, partition(), j, q);
     return total;
@@ -174,7 +169,7 @@ class SpinSonPrepared final : public PreparedAnalysis {
         if (j == task || seen[static_cast<std::size_t>(j)]) continue;
         seen[static_cast<std::size_t>(j)] = 1;
         if (ts_.task(j).priority() >= ts_.task(task).priority()) continue;
-        for (ResourceId q : ts_.task(j).used_resources())
+        for (ResourceId q : session_.used_resources(j))
           worst = std::max(
               worst, SpinSonAnalysis::spin_delay(ts_, partition(), j, q) +
                          ts_.task(j).usage(q).cs_length);
@@ -186,28 +181,29 @@ class SpinSonPrepared final : public PreparedAnalysis {
   void build_statics(int task) {
     TaskStatics& ps = statics_[static_cast<std::size_t>(task)];
     const DagTask& ti = ts_.task(task);
+    const Time* periods = session_.periods();
     std::vector<char> seen(static_cast<std::size_t>(ts_.size()), 0);
-    for (ResourceId q : ti.used_resources()) {
-      ResourceStatic rs;
-      rs.q = q;
-      rs.max_requests = ti.usage(q).max_requests;
-      rs.own_window =
+    ps.coff.push_back(0);
+    for (ResourceId q : session_.used_resources(task)) {
+      ps.q.push_back(q);
+      ps.max_requests.push_back(ti.usage(q).max_requests);
+      ps.own_window.push_back(
           static_cast<Time>(std::max(0, ti.usage(q).max_requests - 1)) *
-          ti.usage(q).cs_length;
+          ti.usage(q).cs_length);
       for (int j = 0; j < ts_.size(); ++j) {
         if (j == task) continue;
         const auto& use = ts_.task(j).usage(q);
         if (!use.used()) continue;
-        rs.contenders.emplace_back(j, use.demand());
+        ps.contenders.add(j, use.demand(),
+                          periods[static_cast<std::size_t>(j)]);
         if (!seen[static_cast<std::size_t>(j)]) {
           seen[static_cast<std::size_t>(j)] = 1;
           ps.contender_tasks.push_back(j);
         }
       }
-      ps.resources.push_back(std::move(rs));
+      ps.coff.push_back(static_cast<std::uint32_t>(ps.contenders.size()));
     }
     std::sort(ps.contender_tasks.begin(), ps.contender_tasks.end());
-    ps.ready = true;
   }
 
   std::vector<TaskStatics> statics_;

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,27 @@
 #include "util/stats.hpp"
 
 namespace dpcp {
+
+/// Work-distribution schedule of the sweep's thread pool.
+enum class SweepBatch {
+  /// One work item per (scenario, point, sample) coordinate: the task set
+  /// is generated once and every column — analyses and the sim column —
+  /// runs on it back-to-back, sharing one AnalysisSession.  The default
+  /// and the fast schedule.
+  kCoordinate,
+  /// One work item per (coordinate, column): the historical pre-session
+  /// schedule, regenerating the task set and opening a fresh session for
+  /// every column.  Results are byte-identical to kCoordinate — generation
+  /// and every per-column RNG sub-stream are keyed by the coordinates
+  /// alone (Rng::fork derives from the construction seed, never from
+  /// consumed state) — only the wall time differs.  Kept as the A/B
+  /// baseline quantifying what coordinate batching buys.
+  kInterleaved,
+};
+
+/// Parses a --batch / DPCP_BATCH token ("coordinate" | "interleaved").
+std::optional<SweepBatch> parse_sweep_batch(const std::string& token);
+const char* to_string(SweepBatch batch);
 
 /// Knobs of one sweep; the defaults reproduce the paper's setup.
 struct SweepOptions {
@@ -74,6 +96,9 @@ struct SweepOptions {
   /// RNG sub-streams as generation, so results stay bit-identical at any
   /// thread count.
   SimBackendOptions sim;
+  /// Work-distribution schedule; see SweepBatch.  Output is byte-identical
+  /// across schedules, so this is a pure performance A/B axis.
+  SweepBatch batch = SweepBatch::kCoordinate;
   /// Invoked whenever a scenario finishes, as (scenarios done, total).
   /// Called from worker threads, serialized by the engine.
   std::function<void(std::size_t, std::size_t)> progress;
@@ -133,6 +158,14 @@ struct SweepResult {
   /// analysis index matching the input `kinds`; empty unless validated.
   std::vector<std::vector<std::vector<ValidationPointStats>>>
       validation_points;
+  /// Session telemetry summed over every AnalysisSession the sweep opened:
+  /// path enumerations performed, and — of those — re-enumerations forced
+  /// by a mid-session DFS-budget change (AnalysisSession::
+  /// budget_reenumerations()).  Default sweeps run one budget, so any
+  /// nonzero budget_reenumerations flags a caller silently thrashing the
+  /// path cache.  Telemetry only: never emitted to CSV/JSON.
+  std::int64_t path_enumerations = 0;
+  std::int64_t budget_reenumerations = 0;
 };
 
 /// Base seed of scenario `index` within a sweep rooted at `base_seed`.

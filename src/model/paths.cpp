@@ -1,7 +1,9 @@
 #include "model/paths.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cassert>
+#include <cstring>
 #include <unordered_map>
 
 namespace dpcp {
@@ -17,6 +19,9 @@ struct VecHash {
   }
 };
 
+/// Generic fallback for wide tasks (> 16 used resources or > 255 requests
+/// per resource): per-vertex request loop and a node-based class map.  Off
+/// the generated-workload path, so simplicity beats layout here.
 class Enumerator {
  public:
   Enumerator(const DagTask& task, std::int64_t max_paths)
@@ -30,9 +35,12 @@ class Enumerator {
       if (result_.truncated) break;
       dfs(head, 0);
     }
-    result_.signatures.reserve(classes_.size());
-    for (auto& [vec, len] : classes_)
-      result_.signatures.push_back(PathSignature{len, vec});
+    result_.lengths.reserve(classes_.size());
+    result_.requests.reserve(classes_.size() * result_.stride());
+    for (auto& [vec, len] : classes_) {
+      result_.lengths.push_back(len);
+      result_.requests.insert(result_.requests.end(), vec.begin(), vec.end());
+    }
     return std::move(result_);
   }
 
@@ -72,15 +80,21 @@ class Enumerator {
   PathEnumResult result_;
 };
 
-/// DFS specialisation for the common case of <= 16 used resources with
+/// Specialisation for the common case of <= 16 used resources with
 /// <= 255 requests each (every generated workload: n_req_max <= 50): the
-/// on-path request vector packs into two 64-bit words of 8-bit lanes, so
-/// entering/leaving a vertex is two adds/subs (no per-resource loop; lane
-/// overflow is impossible because a path's count never exceeds the task
-/// total N_{i,q}) and class lookup hashes two words instead of a vector.
-/// Produces the same classes and max lengths as Enumerator — only the
-/// order of `signatures` differs, which no consumer depends on (the EP
-/// analysis takes a max over them).
+/// per-path request vector packs into two 64-bit words of 8-bit lanes
+/// (lane overflow is impossible because a path's count never exceeds the
+/// task total N_{i,q}).  This is the hot path of every EP sweep, and the
+/// caller's saturating-count shortcut guarantees run() is only reached
+/// when the complete-path count is below budget — so instead of walking
+/// every complete path, classes are built by a reverse-topological merge:
+/// states(v) = the distinct suffix request vectors from v with their max
+/// suffix length and exact suffix path count.  Shared suffixes collapse
+/// once instead of being re-walked per prefix, turning the exponential
+/// DFS into O(sum over edges of predecessor-state counts).  Produces the
+/// same classes, max lengths, and paths_visited (the counts sum to the
+/// exact complete-path total) as the DFS — only class order differs,
+/// which no consumer depends on (the EP analysis takes a max over them).
 class PackedEnumerator {
  public:
   static bool applicable(const DagTask& task,
@@ -91,36 +105,89 @@ class PackedEnumerator {
     return true;
   }
 
-  PackedEnumerator(const DagTask& task, std::int64_t max_paths)
-      : task_(task), max_paths_(max_paths) {
-    result_.resource_index = task_.used_resources();
-    delta_.resize(static_cast<std::size_t>(task_.vertex_count()));
-    for (VertexId v = 0; v < task_.vertex_count(); ++v) {
-      Key d{0, 0};
+  explicit PackedEnumerator(const DagTask& task) {
+    result_.resource_index = task.used_resources();
+    const auto nv = static_cast<std::size_t>(task.vertex_count());
+    wcet_.resize(nv);
+    delta_.resize(nv);
+    succ_off_.resize(nv + 1);
+    std::size_t edges = 0;
+    for (VertexId v = 0; v < task.vertex_count(); ++v)
+      edges += task.graph().successors(v).size();
+    succ_.reserve(edges);
+    for (VertexId v = 0; v < task.vertex_count(); ++v) {
+      const auto uv = static_cast<std::size_t>(v);
+      succ_off_[uv] = static_cast<std::uint32_t>(succ_.size());
+      for (VertexId w : task.graph().successors(v)) succ_.push_back(w);
+      wcet_[uv] = task.vertex(v).wcet;
+      Key d{{0, 0}};
       for (std::size_t k = 0; k < result_.resource_index.size(); ++k) {
         const std::uint64_t n = static_cast<std::uint64_t>(
-            task_.vertex(v).requests_to(result_.resource_index[k]));
-        if (k < 8)
-          d.lane[0] += n << (8 * k);
-        else
-          d.lane[1] += n << (8 * (k - 8));
+            task.vertex(v).requests_to(result_.resource_index[k]));
+        d.lane[k < 8 ? 0 : 1] += n << (8 * (k % 8));
       }
-      delta_[static_cast<std::size_t>(v)] = d;
+      delta_[uv] = d;
     }
+    succ_off_[nv] = static_cast<std::uint32_t>(succ_.size());
+    heads_ = task.graph().heads();
+    topo_ = task.graph().topological_order();
   }
 
   PathEnumResult run() {
-    for (VertexId head : task_.graph().heads()) {
-      if (result_.truncated) break;
-      dfs(head, 0);
+    const std::size_t nv = wcet_.size();
+    // Per-vertex state ranges into the flat pool, filled in reverse
+    // topological order so every successor's range exists first.
+    std::vector<std::uint32_t> sbeg(nv), send(nv);
+    for (auto it = topo_.rbegin(); it != topo_.rend(); ++it) {
+      const auto uv = static_cast<std::size_t>(*it);
+      const std::uint32_t b = succ_off_[uv], e = succ_off_[uv + 1];
+      sbeg[uv] = static_cast<std::uint32_t>(pool_.size());
+      if (b == e) {
+        // Tail vertex: one suffix class — itself.
+        pool_.push_back(State{delta_[uv], wcet_[uv], 1});
+      } else {
+        std::size_t incoming = 0;
+        for (std::uint32_t ei = b; ei < e; ++ei) {
+          const auto uw = static_cast<std::size_t>(succ_[ei]);
+          incoming += send[uw] - sbeg[uw];
+        }
+        reset_scratch(incoming);
+        for (std::uint32_t ei = b; ei < e; ++ei) {
+          const auto uw = static_cast<std::size_t>(succ_[ei]);
+          for (std::uint32_t s = sbeg[uw]; s < send[uw]; ++s) {
+            State st = pool_[s];
+            st.key.lane[0] += delta_[uv].lane[0];
+            st.key.lane[1] += delta_[uv].lane[1];
+            st.len += wcet_[uv];
+            merge(st);
+          }
+        }
+      }
+      send[uv] = static_cast<std::uint32_t>(pool_.size());
     }
-    result_.signatures.reserve(classes_.size());
-    std::vector<int> requests(result_.resource_index.size());
-    for (auto& [key, len] : classes_) {
-      for (std::size_t k = 0; k < requests.size(); ++k)
-        requests[k] = static_cast<int>(
-            (key.lane[k < 8 ? 0 : 1] >> (8 * (k % 8))) & 0xFFu);
-      result_.signatures.push_back(PathSignature{len, requests});
+
+    // Final merge across heads (distinct heads can reach equal classes).
+    std::size_t incoming = 0;
+    for (VertexId h : heads_)
+      incoming += send[static_cast<std::size_t>(h)] -
+                  sbeg[static_cast<std::size_t>(h)];
+    reset_scratch(incoming);
+    const std::uint32_t final_beg = static_cast<std::uint32_t>(pool_.size());
+    for (VertexId h : heads_) {
+      const auto uh = static_cast<std::size_t>(h);
+      for (std::uint32_t s = sbeg[uh]; s < send[uh]; ++s) merge(pool_[s]);
+    }
+
+    const std::size_t classes = pool_.size() - final_beg;
+    result_.lengths.reserve(classes);
+    result_.requests.reserve(classes * result_.stride());
+    for (std::size_t i = final_beg; i < pool_.size(); ++i) {
+      const State& st = pool_[i];
+      result_.paths_visited += st.cnt;
+      result_.lengths.push_back(st.len);
+      for (std::size_t k = 0; k < result_.stride(); ++k)
+        result_.requests.push_back(static_cast<int>(
+            (st.key.lane[k < 8 ? 0 : 1] >> (8 * (k % 8))) & 0xFFu));
     }
     return std::move(result_);
   }
@@ -132,51 +199,85 @@ class PackedEnumerator {
       return lane[0] == o.lane[0] && lane[1] == o.lane[1];
     }
   };
-  struct KeyHash {
-    std::size_t operator()(const Key& k) const {
-      std::uint64_t h = k.lane[0] * 0x9E3779B97F4A7C15ull;
-      h ^= k.lane[1] + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
-      h ^= h >> 29;
-      h *= 0xBF58476D1CE4E5B9ull;
-      return static_cast<std::size_t>(h ^ (h >> 32));
-    }
+  /// One suffix class: packed request vector, max suffix length, exact
+  /// suffix path count.  The count never overflows: every suffix path
+  /// extends to at least one complete path, and run() is only reached
+  /// when the complete-path count is below the (int64) budget.
+  struct State {
+    Key key;
+    Time len;
+    std::int64_t cnt;
   };
 
-  void dfs(VertexId v, Time length_so_far) {
-    if (result_.truncated) return;
-    const Time length = length_so_far + task_.vertex(v).wcet;
-    const Key& d = delta_[static_cast<std::size_t>(v)];
-    cur_.lane[0] += d.lane[0];
-    cur_.lane[1] += d.lane[1];
-
-    if (task_.graph().successors(v).empty()) {
-      ++result_.paths_visited;
-      if (auto it = classes_.find(cur_); it != classes_.end()) {
-        if (length > it->second) it->second = length;
-      } else {
-        classes_.emplace(cur_, length);
-      }
-      if (result_.paths_visited >= max_paths_) result_.truncated = true;
-    } else {
-      for (VertexId w : task_.graph().successors(v)) {
-        dfs(w, length);
-        if (result_.truncated) break;
-      }
-    }
-
-    cur_.lane[0] -= d.lane[0];
-    cur_.lane[1] -= d.lane[1];
+  static std::size_t hash(const Key& k) {
+    std::uint64_t h = k.lane[0] * 0x9E3779B97F4A7C15ull;
+    h ^= k.lane[1] + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+    h ^= h >> 29;
+    h *= 0xBF58476D1CE4E5B9ull;
+    return static_cast<std::size_t>(h ^ (h >> 32));
   }
 
-  const DagTask& task_;
-  const std::int64_t max_paths_;
-  Key cur_{0, 0};
+  /// Prepares the scratch dedup table for one merge of up to `incoming`
+  /// states: sized >= 2x up front so merge() never grows mid-run, cleared
+  /// in O(1) by bumping the epoch.
+  void reset_scratch(std::size_t incoming) {
+    std::size_t want = 64;
+    while (want < incoming * 2) want *= 2;
+    if (want > epoch_.size() || epoch_tag_ == UINT32_MAX) {
+      epoch_.assign(std::max(want, epoch_.size()), 0);
+      skey_.resize(epoch_.size());
+      sidx_.resize(epoch_.size());
+      epoch_tag_ = 0;
+    }
+    mask_ = epoch_.size() - 1;
+    ++epoch_tag_;
+  }
+
+  /// Folds one state into the scratch table + pool: new classes append to
+  /// the pool, repeats take max length and sum counts.
+  void merge(const State& st) {
+    std::size_t i = hash(st.key) & mask_;
+    while (epoch_[i] == epoch_tag_) {
+      if (skey_[i] == st.key) {
+        State& dst = pool_[sidx_[i]];
+        if (st.len > dst.len) dst.len = st.len;
+        dst.cnt += st.cnt;
+        return;
+      }
+      i = (i + 1) & mask_;
+    }
+    epoch_[i] = epoch_tag_;
+    skey_[i] = st.key;
+    sidx_[i] = static_cast<std::uint32_t>(pool_.size());
+    pool_.push_back(st);
+  }
+
+  std::vector<Time> wcet_;
   std::vector<Key> delta_;
-  std::unordered_map<Key, Time, KeyHash> classes_;
+  std::vector<std::uint32_t> succ_off_;  // CSR offsets, vertex_count()+1
+  std::vector<VertexId> succ_;
+  std::vector<VertexId> heads_;
+  std::vector<VertexId> topo_;
+  std::vector<State> pool_;  // all vertices' states, ranges via sbeg/send
+  std::vector<std::uint32_t> epoch_;  // scratch dedup table (parallel)
+  std::vector<Key> skey_;
+  std::vector<std::uint32_t> sidx_;
+  std::size_t mask_ = 0;
+  std::uint32_t epoch_tag_ = 0;
   PathEnumResult result_;
 };
 
 }  // namespace
+
+std::vector<PathSignature> PathEnumResult::signatures() const {
+  std::vector<PathSignature> out;
+  out.reserve(size());
+  for (std::size_t i = 0; i < size(); ++i) {
+    const int* req = requests_of(i);
+    out.push_back(PathSignature{lengths[i], std::vector<int>(req, req + stride())});
+  }
+  return out;
+}
 
 PathEnumResult enumerate_path_signatures(const DagTask& task,
                                          std::int64_t max_paths) {
@@ -194,7 +295,7 @@ PathEnumResult enumerate_path_signatures(const DagTask& task,
     return out;
   }
   if (PackedEnumerator::applicable(task, task.used_resources()))
-    return PackedEnumerator(task, max_paths).run();
+    return PackedEnumerator(task).run();
   return Enumerator(task, max_paths).run();
 }
 

@@ -18,7 +18,8 @@
 
 namespace dpcp {
 
-/// One equivalence class of complete paths of a task.
+/// One equivalence class of complete paths of a task (AoS materialisation
+/// of a PathEnumResult row; the analyses walk the SoA storage directly).
 struct PathSignature {
   /// Max L(lambda) among the paths in the class.
   Time length = 0;
@@ -27,18 +28,34 @@ struct PathSignature {
   std::vector<int> requests;
 };
 
+/// Path-signature classes in structure-of-arrays layout: class i has max
+/// path length `lengths[i]` and request vector
+/// `requests[i*stride() .. i*stride()+stride())`.  The EP analysis walks
+/// every class of every task per wcrt query, so the request vectors live
+/// in one flat slab (sequential loads, one allocation) instead of one
+/// heap vector per class.  Class order is unspecified — consumers reduce
+/// over the classes (the EP bound takes a max) and must not depend on it.
 struct PathEnumResult {
-  std::vector<PathSignature> signatures;
-  /// Resource ids corresponding to positions of PathSignature::requests.
+  std::vector<Time> lengths;
+  std::vector<int> requests;  // flat, lengths.size() * stride() entries
+  /// Resource ids corresponding to positions within a request vector.
   std::vector<ResourceId> resource_index;
   /// Complete paths visited by the DFS (post-merging classes may be fewer).
   /// 0 when truncation was decided by the path-count shortcut, in which
   /// case the DFS never ran.
   std::int64_t paths_visited = 0;
-  /// True iff the task has >= `max_paths` complete paths; signatures are
+  /// True iff the task has >= `max_paths` complete paths; classes are
   /// then empty/partial and the caller must fall back to a sound
   /// over-approximation (the EN bound).
   bool truncated = false;
+
+  std::size_t size() const { return lengths.size(); }
+  std::size_t stride() const { return resource_index.size(); }
+  const int* requests_of(std::size_t i) const {
+    return requests.data() + i * stride();
+  }
+  /// AoS copy for tests and tools.
+  std::vector<PathSignature> signatures() const;
 };
 
 /// Enumerates the complete (head -> tail) path signatures of `task`.

@@ -1,0 +1,143 @@
+// Bump arena and typed slabs for the analysis session's data-oriented
+// state.
+//
+// An AnalysisSession owns one BumpArena and carves write-once,
+// session-lifetime storage out of it: path-signature SoA slabs, cached
+// per-task period/resource tables, and the statics the concrete analyses
+// share.  Allocation is a pointer bump into a chunk (no per-object heap
+// round trip, no deallocation bookkeeping), so dozens of small per-task
+// arrays land back-to-back in memory instead of being scattered by the
+// general-purpose allocator.
+//
+// Lifetime rules (see docs/architecture.md, "oracle memory layout"):
+//   * arena memory is never freed individually — everything lives until
+//     the owning session is destroyed (or the arena is clear()ed, which
+//     retains the chunks for reuse by the next task set);
+//   * therefore only immutable, compute-once data goes into the arena.
+//     Per-round mutable state (partition-dependent tables that
+//     invalidate() drops) stays in flat reusable vectors owned by the
+//     prepared objects, which shrink and regrow per bind.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace dpcp {
+
+/// Typed view over an arena allocation: pointer + length, value
+/// semantics, range-for iterable.  A Slab never owns its memory.
+template <typename T>
+struct Slab {
+  T* data = nullptr;
+  std::size_t count = 0;
+
+  std::size_t size() const { return count; }
+  bool empty() const { return count == 0; }
+  T& operator[](std::size_t i) { return data[i]; }
+  const T& operator[](std::size_t i) const { return data[i]; }
+  T* begin() { return data; }
+  T* end() { return data + count; }
+  const T* begin() const { return data; }
+  const T* end() const { return data + count; }
+};
+
+class BumpArena {
+ public:
+  explicit BumpArena(std::size_t chunk_bytes = 1 << 16)
+      : chunk_bytes_(chunk_bytes) {}
+
+  BumpArena(const BumpArena&) = delete;
+  BumpArena& operator=(const BumpArena&) = delete;
+
+  /// `n` default-initialized objects of trivially-destructible type T
+  /// (the arena never runs destructors).
+  template <typename T>
+  Slab<T> alloc(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is reclaimed without running destructors");
+    if (n == 0) return {nullptr, 0};
+    const std::size_t bytes = n * sizeof(T);
+    T* p = static_cast<T*>(raw_alloc(bytes, alignof(T)));
+    std::memset(static_cast<void*>(p), 0, bytes);
+    return {p, n};
+  }
+
+  /// Arena copy of [src, src + n).
+  template <typename T>
+  Slab<T> copy(const T* src, std::size_t n) {
+    Slab<T> s = alloc<T>(n);
+    if (n) std::memcpy(static_cast<void*>(s.data), src, n * sizeof(T));
+    return s;
+  }
+
+  template <typename T>
+  Slab<T> copy(const std::vector<T>& v) {
+    return copy(v.data(), v.size());
+  }
+
+  /// Drops all allocations but retains the chunks, so the next session
+  /// over the same arena reuses the warmed memory instead of re-growing.
+  void clear() {
+    for (Chunk& c : chunks_) c.used = 0;
+    current_ = 0;
+    live_bytes_ = 0;
+  }
+
+  /// Bytes currently allocated out of the arena.
+  std::size_t live_bytes() const { return live_bytes_; }
+  /// Max of live_bytes() over the arena's lifetime (survives clear()).
+  std::size_t high_water() const { return high_water_; }
+  /// Chunk memory held (>= live_bytes(); the reuse pool after clear()).
+  std::size_t reserved_bytes() const {
+    std::size_t total = 0;
+    for (const Chunk& c : chunks_) total += c.capacity;
+    return total;
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> mem;
+    std::size_t capacity = 0;
+    std::size_t used = 0;
+  };
+
+  void* raw_alloc(std::size_t bytes, std::size_t align) {
+    while (current_ < chunks_.size()) {
+      Chunk& c = chunks_[current_];
+      const std::size_t at = (c.used + align - 1) & ~(align - 1);
+      if (at + bytes <= c.capacity) {
+        c.used = at + bytes;
+        bump_live(bytes);
+        return c.mem.get() + at;
+      }
+      // Chunk exhausted: move on (possibly to a retained chunk after
+      // clear(); its memory is already warm).
+      ++current_;
+    }
+    Chunk c;
+    c.capacity = bytes > chunk_bytes_ ? bytes : chunk_bytes_;
+    c.mem = std::make_unique<std::byte[]>(c.capacity);
+    c.used = bytes;
+    chunks_.push_back(std::move(c));
+    current_ = chunks_.size() - 1;
+    bump_live(bytes);
+    return chunks_.back().mem.get();
+  }
+
+  void bump_live(std::size_t bytes) {
+    live_bytes_ += bytes;
+    if (live_bytes_ > high_water_) high_water_ = live_bytes_;
+  }
+
+  std::size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  std::size_t current_ = 0;
+  std::size_t live_bytes_ = 0;
+  std::size_t high_water_ = 0;
+};
+
+}  // namespace dpcp

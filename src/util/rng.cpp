@@ -2,6 +2,38 @@
 
 namespace dpcp {
 
+void Mt64::refill() {
+  // In-place twist: positions >= kN - kM read state_[i + kM - kN], which
+  // this same loop already updated — exactly the standard's recurrence
+  // order, so the stream matches std::mt19937_64 word for word.  The index
+  // wraparound is peeled into three modulo-free segments, and the
+  // conditional xor of the twist matrix is the branchless -(x & 1) mask
+  // form; this function carries the entire generation draw stream, so the
+  // twist loop earns its micro-optimisation.
+  const auto twist = [](std::uint64_t hi, std::uint64_t lo,
+                        std::uint64_t far) {
+    const std::uint64_t x = (hi & kUpper) | (lo & kLower);
+    return far ^ (x >> 1) ^ ((-(x & 1)) & kMatrixA);
+  };
+  unsigned i = 0;
+  for (; i < kN - kM; ++i)
+    state_[i] = twist(state_[i], state_[i + 1], state_[i + kM]);
+  for (; i < kN - 1; ++i)
+    state_[i] = twist(state_[i], state_[i + 1], state_[i + kM - kN]);
+  state_[kN - 1] = twist(state_[kN - 1], state_[0], state_[kM - 1]);
+  // Bulk temper into the output buffer: one tight pass the compiler can
+  // pipeline, instead of one temper chain per draw.
+  for (unsigned i = 0; i < kN; ++i) {
+    std::uint64_t y = state_[i];
+    y ^= (y >> 29) & 0x5555555555555555ull;
+    y ^= (y << 17) & 0x71D67FFFEDA60000ull;
+    y ^= (y << 37) & 0xFFF7EEE000000000ull;
+    y ^= (y >> 43);
+    out_[i] = y;
+  }
+  next_ = 0;
+}
+
 std::vector<std::int64_t> Rng::composition(std::int64_t total,
                                            std::size_t parts) {
   assert(parts > 0);

@@ -56,6 +56,49 @@ TEST(Engine, IdenticalResultsAtOneAndEightThreads) {
   EXPECT_EQ(sweep_to_json(one), sweep_to_json(eight));
 }
 
+TEST(Engine, BatchSchedulesProduceIdenticalArtifacts) {
+  // The work-distribution schedule is a pure performance axis: the
+  // interleaved (one item per task-set x column, fresh session each)
+  // schedule at 8 threads must reproduce the coordinate schedule at 1
+  // thread byte for byte, CSV and JSON.
+  const auto scenarios = tiny_scenarios();
+  SweepOptions coordinate = tiny_options(1);
+  coordinate.batch = SweepBatch::kCoordinate;
+  coordinate.sim.enabled = true;  // cover the trailing sim column slot too
+  SweepOptions il = tiny_options(8);
+  il.batch = SweepBatch::kInterleaved;
+  il.sim.enabled = true;
+  const SweepResult a = run_sweep(scenarios, kTinyKinds, coordinate);
+  const SweepResult b = run_sweep(scenarios, kTinyKinds, il);
+  EXPECT_EQ(sweep_to_csv(a), sweep_to_csv(b));
+  EXPECT_EQ(sweep_to_json(a), sweep_to_json(b));
+  // Both schedules run one DFS budget per session: the budget-churn
+  // telemetry must stay zero (see DefaultSweepNeverReenumeratesPaths).
+  EXPECT_EQ(a.budget_reenumerations, 0);
+  EXPECT_EQ(b.budget_reenumerations, 0);
+}
+
+TEST(Engine, ParseSweepBatchTokens) {
+  EXPECT_EQ(parse_sweep_batch("coordinate"), SweepBatch::kCoordinate);
+  EXPECT_EQ(parse_sweep_batch("interleaved"), SweepBatch::kInterleaved);
+  EXPECT_FALSE(parse_sweep_batch("rowmajor").has_value());
+  EXPECT_FALSE(parse_sweep_batch("").has_value());
+  EXPECT_STREQ(to_string(SweepBatch::kCoordinate), "coordinate");
+  EXPECT_STREQ(to_string(SweepBatch::kInterleaved), "interleaved");
+}
+
+TEST(Engine, DefaultSweepNeverReenumeratesPaths) {
+  // Every default sweep uses one DFS budget per session, so the
+  // budget-keyed path cache must never enumerate a task twice: a nonzero
+  // count means a caller silently thrashes the cache by varying
+  // max_paths mid-session (the regression AnalysisSession::
+  // budget_reenumerations() exists to catch).
+  const SweepResult result =
+      run_sweep(tiny_scenarios(), kTinyKinds, tiny_options(2));
+  EXPECT_GT(result.path_enumerations, 0);  // EP enumerated something
+  EXPECT_EQ(result.budget_reenumerations, 0);
+}
+
 TEST(Engine, MatchesRunAcceptanceForOneScenario) {
   Scenario sc = tiny_scenarios()[0];
   AcceptanceOptions old_opts;

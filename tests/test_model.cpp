@@ -270,11 +270,12 @@ TEST(Paths, ChainHasSingleSignature) {
   t.set_cs_length(1, 1);
   t.finalize();
   const auto r = enumerate_path_signatures(t);
-  ASSERT_EQ(r.signatures.size(), 1u);
+  ASSERT_EQ(r.size(), 1u);
   EXPECT_EQ(r.paths_visited, 1);
-  EXPECT_EQ(r.signatures[0].length, 15);
+  const auto sigs = r.signatures();
+  EXPECT_EQ(sigs[0].length, 15);
   EXPECT_EQ(r.resource_index, (std::vector<ResourceId>{0, 1}));
-  EXPECT_EQ(r.signatures[0].requests, (std::vector<int>{2, 2}));
+  EXPECT_EQ(sigs[0].requests, (std::vector<int>{2, 2}));
   EXPECT_FALSE(r.truncated);
 }
 
@@ -291,10 +292,10 @@ TEST(Paths, DiamondDistinguishesRequestVectors) {
   t.set_cs_length(0, 1);
   t.finalize();
   const auto r = enumerate_path_signatures(t);
-  ASSERT_EQ(r.signatures.size(), 2u);
+  ASSERT_EQ(r.size(), 2u);
   EXPECT_EQ(r.paths_visited, 2);
   // Signature with one request has length 17; signature without, 13.
-  for (const auto& sig : r.signatures) {
+  for (const auto& sig : r.signatures()) {
     if (sig.requests[0] == 1)
       EXPECT_EQ(sig.length, 17);
     else
@@ -316,10 +317,11 @@ TEST(Paths, EqualVectorsMergeKeepingMaxLength) {
   t.set_cs_length(0, 1);
   t.finalize();
   const auto r = enumerate_path_signatures(t);
-  ASSERT_EQ(r.signatures.size(), 1u);
+  ASSERT_EQ(r.size(), 1u);
   EXPECT_EQ(r.paths_visited, 2);
-  EXPECT_EQ(r.signatures[0].length, 17);
-  EXPECT_EQ(r.signatures[0].requests, std::vector<int>{1});
+  const auto sigs = r.signatures();
+  EXPECT_EQ(sigs[0].length, 17);
+  EXPECT_EQ(sigs[0].requests, std::vector<int>{1});
 }
 
 TEST(Paths, TruncationFlagOnPathExplosion) {
@@ -348,7 +350,7 @@ TEST(Paths, TruncationFlagOnPathExplosion) {
   EXPECT_FALSE(full.truncated);
   EXPECT_EQ(full.paths_visited, 1 << diamonds);
   // Distinct signatures: one per on-path branch count 0..12.
-  EXPECT_EQ(full.signatures.size(), static_cast<std::size_t>(diamonds + 1));
+  EXPECT_EQ(full.size(), static_cast<std::size_t>(diamonds + 1));
 }
 
 TEST(Paths, TruncationBoundaryIsExactlyMaxPaths) {
@@ -374,8 +376,8 @@ TEST(Paths, TruncationBoundaryIsExactlyMaxPaths) {
   const auto above_cap = enumerate_path_signatures(t, 3);
   EXPECT_FALSE(above_cap.truncated);
   EXPECT_EQ(above_cap.paths_visited, 2);
-  ASSERT_EQ(above_cap.signatures.size(), 2u);
-  for (const auto& sig : above_cap.signatures) {
+  ASSERT_EQ(above_cap.size(), 2u);
+  for (const auto& sig : above_cap.signatures()) {
     if (sig.requests[0] == 2)
       EXPECT_EQ(sig.length, 13);  // head + requesting branch (3) + tail
     else
@@ -409,8 +411,8 @@ TEST(Paths, DiamondSharedAndDistinctSignaturesMixed) {
 
   const auto r = enumerate_path_signatures(t);
   EXPECT_EQ(r.paths_visited, 4);
-  ASSERT_EQ(r.signatures.size(), 2u);
-  for (const auto& sig : r.signatures) {
+  ASSERT_EQ(r.size(), 2u);
+  for (const auto& sig : r.signatures()) {
     ASSERT_EQ(sig.requests.size(), 2u);
     EXPECT_EQ(sig.requests[0], 1);  // both classes pass one upper branch
     if (sig.requests[1] == 1)
@@ -442,9 +444,9 @@ TEST(Paths, WideTasksUseTheGenericEnumerator) {
 
   const auto r = enumerate_path_signatures(t);
   EXPECT_EQ(r.paths_visited, 2);
-  ASSERT_EQ(r.signatures.size(), 2u);
+  ASSERT_EQ(r.size(), 2u);
   ASSERT_EQ(r.resource_index, (std::vector<ResourceId>{0, 16}));
-  for (const auto& sig : r.signatures) {
+  for (const auto& sig : r.signatures()) {
     EXPECT_EQ(sig.requests[1], 3);  // the head's requests are on any path
     EXPECT_EQ(sig.length, sig.requests[0] == 1 ? 17 : 13);
   }
@@ -466,8 +468,8 @@ TEST(Paths, LargeRequestCountsUseTheGenericEnumerator) {
 
   const auto r = enumerate_path_signatures(t);
   EXPECT_EQ(r.paths_visited, 2);
-  ASSERT_EQ(r.signatures.size(), 2u);
-  for (const auto& sig : r.signatures) {
+  ASSERT_EQ(r.size(), 2u);
+  for (const auto& sig : r.signatures()) {
     if (sig.requests[0] == 301)
       EXPECT_EQ(sig.length, 1600);
     else
@@ -485,8 +487,8 @@ TEST(Paths, MultiHeadMultiTail) {
   t.finalize();
   const auto r = enumerate_path_signatures(t);
   EXPECT_EQ(r.paths_visited, 2);  // 0->2 and 1->2
-  ASSERT_EQ(r.signatures.size(), 1u);
-  EXPECT_EQ(r.signatures[0].length, 7);  // max(2,3)+4
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r.signatures()[0].length, 7);  // max(2,3)+4
 }
 
 }  // namespace

@@ -31,14 +31,30 @@ TEST(Session, PathEnumerationRunsOncePerTask) {
   ts.finalize();
 
   AnalysisSession session(ts);
-  const PathEnumResult& first = session.paths(0, 1000);
-  const PathEnumResult& again = session.paths(0, 1000);
+  const PathSlab& first = session.paths(0, 1000);
+  const PathSlab& again = session.paths(0, 1000);
   EXPECT_EQ(&first, &again);  // cached object, not a recomputation
   EXPECT_EQ(session.path_enumerations(), 1);
+  EXPECT_EQ(session.budget_reenumerations(), 0);
 
-  // A different budget re-enumerates (exact behavior preservation).
-  session.paths(0, 2000);
+  // A different budget enumerates once more and caches alongside; the
+  // telemetry counter flags the budget churn.
+  const PathSlab& other = session.paths(0, 2000);
   EXPECT_EQ(session.path_enumerations(), 2);
+  EXPECT_EQ(session.budget_reenumerations(), 1);
+
+  // Both budgets now hit their own cache entries; the first slab's
+  // reference is still valid (pointer-stable entries).
+  EXPECT_EQ(&session.paths(0, 1000), &first);
+  EXPECT_EQ(&session.paths(0, 2000), &other);
+  EXPECT_EQ(session.path_enumerations(), 2);
+  EXPECT_EQ(session.budget_reenumerations(), 1);
+
+  // Slab contents match a direct enumeration.
+  const PathEnumResult direct = enumerate_path_signatures(ts.task(0), 1000);
+  ASSERT_EQ(first.size(), direct.size());
+  for (std::size_t i = 0; i < first.size(); ++i)
+    EXPECT_EQ(first.lengths[i], direct.lengths[i]);
 }
 
 TEST(Session, PriorityOrderMatchesPartitioner) {
