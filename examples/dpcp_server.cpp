@@ -1,0 +1,134 @@
+// dpcp_server: schedulability-as-a-service over stdin/stdout.
+//
+// Reads the line-oriented command protocol of serve/server.hpp (load /
+// admit / depart / query / stats / quit; payload blocks end with a lone
+// '.') and answers deterministically: the same command stream and options
+// always produce the same byte stream, which CI pins with a golden
+// transcript diff.
+//
+// Environment defaults (overridden by flags): DPCP_M, DPCP_ANALYSIS,
+// DPCP_REPAIR_EVALS, DPCP_RETRY_CAP, DPCP_SEED.  A set-but-garbled knob
+// or flag is a hard usage error (exit 2), never a silent fallback.
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "serve/server.hpp"
+#include "util/parse.hpp"
+
+namespace {
+
+using dpcp::AnalysisKind;
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [options] < commands\n"
+               "\n"
+               "options:\n"
+               "  --m M               processors per platform (default 16)\n"
+               "  --analysis NAME     ep|en|spin|lpp|fed (default ep)\n"
+               "  --repair-evals N    Move-search budget per admission, 0\n"
+               "                      disables the repair rung (default 200)\n"
+               "  --retry-cap N       retry-queue capacity (default 16)\n"
+               "  --seed S            repair-search root seed (default 42)\n"
+               "  --help              this text\n"
+               "\n"
+               "commands (one per line on stdin):\n"
+               "  load | admit        followed by a 'dpcp-taskset v1' block\n"
+               "                      terminated by a lone '.'\n"
+               "  depart <id> | query | stats | quit\n",
+               argv0);
+  return 2;
+}
+
+bool parse_analysis(const std::string& token, AnalysisKind* out) {
+  if (token == "ep") *out = AnalysisKind::kDpcpPEp;
+  else if (token == "en") *out = AnalysisKind::kDpcpPEn;
+  else if (token == "spin") *out = AnalysisKind::kSpinSon;
+  else if (token == "lpp") *out = AnalysisKind::kLpp;
+  else if (token == "fed") *out = AnalysisKind::kFedFp;
+  else return false;
+  return true;
+}
+
+/// Fatal-on-garbage environment integer, matching sweep_options_from_env.
+std::optional<long long> env_int(const char* name, long long lo,
+                                 long long hi) {
+  const char* s = std::getenv(name);
+  if (!s || *s == '\0') return std::nullopt;
+  const auto v = dpcp::parse_int(s, lo, hi);
+  if (!v) {
+    std::fprintf(stderr, "%s: invalid integer '%s' (expected %lld..%lld)\n",
+                 name, s, lo, hi);
+    std::exit(2);
+  }
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dpcp::ServeOptions options;
+  if (const auto v = env_int("DPCP_M", 1, 4096))
+    options.m = static_cast<int>(*v);
+  if (const auto v = env_int("DPCP_REPAIR_EVALS", 0, 1 << 24))
+    options.repair_evals = *v;
+  if (const auto v = env_int("DPCP_RETRY_CAP", 0, 1 << 20))
+    options.retry_capacity = static_cast<std::size_t>(*v);
+  if (const char* s = std::getenv("DPCP_SEED"); s && *s != '\0') {
+    const auto v = dpcp::parse_uint(s);
+    if (!v) {
+      std::fprintf(stderr, "DPCP_SEED: invalid unsigned integer '%s'\n", s);
+      return 2;
+    }
+    options.seed = *v;
+  }
+  if (const char* s = std::getenv("DPCP_ANALYSIS"); s && *s != '\0') {
+    if (!parse_analysis(s, &options.kind)) {
+      std::fprintf(stderr, "DPCP_ANALYSIS: unknown analysis '%s'\n", s);
+      return 2;
+    }
+  }
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: missing value\n", arg.c_str());
+        std::exit(usage(argv[0]));
+      }
+      return argv[++i];
+    };
+    if (arg == "--m") {
+      const auto v = dpcp::parse_int(value(), 1, 4096);
+      if (!v) return usage(argv[0]);
+      options.m = static_cast<int>(*v);
+    } else if (arg == "--analysis") {
+      const std::string token = value();
+      if (!parse_analysis(token, &options.kind)) {
+        std::fprintf(stderr, "unknown analysis '%s'\n", token.c_str());
+        return usage(argv[0]);
+      }
+    } else if (arg == "--repair-evals") {
+      const auto v = dpcp::parse_int(value(), 0, 1 << 24);
+      if (!v) return usage(argv[0]);
+      options.repair_evals = *v;
+    } else if (arg == "--retry-cap") {
+      const auto v = dpcp::parse_int(value(), 0, 1 << 20);
+      if (!v) return usage(argv[0]);
+      options.retry_capacity = static_cast<std::size_t>(*v);
+    } else if (arg == "--seed") {
+      const auto v = dpcp::parse_uint(value());
+      if (!v) return usage(argv[0]);
+      options.seed = *v;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(argv[0]);
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+
+  return dpcp::run_server(std::cin, std::cout, options);
+}

@@ -1,0 +1,192 @@
+// online_tool: replay seeded arrival/departure streams through the
+// AdmissionController and report acceptance + count-based admission-
+// latency percentiles per stream (exp/online.hpp).
+//
+// The CSV is byte-identical at any --threads value (streams are
+// independent, results are emitted in order, and all statistics are
+// integer counts) — CI diffs a 1-thread against an 8-thread run.  With
+// --validate every accept is re-executed on the discrete-event simulator
+// and the tool exits 1 if any accept is refuted.
+//
+// Environment defaults (overridden by flags): DPCP_SEED, DPCP_THREADS.
+// A set-but-garbled knob or flag is a hard usage error (exit 2).
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "exp/grid.hpp"
+#include "exp/online.hpp"
+#include "util/parse.hpp"
+
+namespace {
+
+using dpcp::AnalysisKind;
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [options]\n"
+               "\n"
+               "options:\n"
+               "  --scenarios SPEC    all | fig2 | a..d | first:K (default a)\n"
+               "  --streams N         event streams per scenario (default 4)\n"
+               "  --events N          events per stream (default 100)\n"
+               "  --depart-prob P     departure probability in [0,1)\n"
+               "                      (default 0.3)\n"
+               "  --util F            generator utilization as a fraction of\n"
+               "                      m (default 0.4)\n"
+               "  --analysis NAME     ep|en|spin|lpp|fed (default ep)\n"
+               "  --repair-evals N    repair budget per admission (default\n"
+               "                      200; 0 disables)\n"
+               "  --retry-cap N       retry-queue capacity (default 16)\n"
+               "  --seed S            stream seed (default 42)\n"
+               "  --threads N         worker threads (default 1)\n"
+               "  --validate          simulate every accept; exit 1 on any\n"
+               "                      refuted accept\n"
+               "  --csv FILE          write the CSV there instead of stdout\n"
+               "  --help              this text\n",
+               argv0);
+  return 2;
+}
+
+bool parse_analysis(const std::string& token, AnalysisKind* out) {
+  if (token == "ep") *out = AnalysisKind::kDpcpPEp;
+  else if (token == "en") *out = AnalysisKind::kDpcpPEn;
+  else if (token == "spin") *out = AnalysisKind::kSpinSon;
+  else if (token == "lpp") *out = AnalysisKind::kLpp;
+  else if (token == "fed") *out = AnalysisKind::kFedFp;
+  else return false;
+  return true;
+}
+
+std::optional<long long> env_int(const char* name, long long lo,
+                                 long long hi) {
+  const char* s = std::getenv(name);
+  if (!s || *s == '\0') return std::nullopt;
+  const auto v = dpcp::parse_int(s, lo, hi);
+  if (!v) {
+    std::fprintf(stderr, "%s: invalid integer '%s' (expected %lld..%lld)\n",
+                 name, s, lo, hi);
+    std::exit(2);
+  }
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dpcp::OnlineOptions options;
+  std::string scenario_spec = "a";
+  std::string csv_path;
+  if (const auto v = env_int("DPCP_THREADS", 1, 1024))
+    options.threads = static_cast<int>(*v);
+  if (const char* s = std::getenv("DPCP_SEED"); s && *s != '\0') {
+    const auto v = dpcp::parse_uint(s);
+    if (!v) {
+      std::fprintf(stderr, "DPCP_SEED: invalid unsigned integer '%s'\n", s);
+      return 2;
+    }
+    options.seed = *v;
+  }
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: missing value\n", arg.c_str());
+        std::exit(usage(argv[0]));
+      }
+      return argv[++i];
+    };
+    if (arg == "--scenarios") {
+      scenario_spec = value();
+    } else if (arg == "--streams") {
+      const auto v = dpcp::parse_int(value(), 1, 1 << 16);
+      if (!v) return usage(argv[0]);
+      options.streams = static_cast<int>(*v);
+    } else if (arg == "--events") {
+      const auto v = dpcp::parse_int(value(), 1, 1 << 24);
+      if (!v) return usage(argv[0]);
+      options.events = static_cast<int>(*v);
+    } else if (arg == "--depart-prob") {
+      const auto v = dpcp::parse_double(value());
+      if (!v || *v < 0.0 || *v >= 1.0) {
+        std::fprintf(stderr, "--depart-prob: expected a value in [0,1)\n");
+        return usage(argv[0]);
+      }
+      options.depart_prob = *v;
+    } else if (arg == "--util") {
+      const auto v = dpcp::parse_double(value());
+      if (!v || *v <= 0.0 || *v > 1.0) {
+        std::fprintf(stderr, "--util: expected a value in (0,1]\n");
+        return usage(argv[0]);
+      }
+      options.util_frac = *v;
+    } else if (arg == "--analysis") {
+      const std::string token = value();
+      if (!parse_analysis(token, &options.kind)) {
+        std::fprintf(stderr, "unknown analysis '%s'\n", token.c_str());
+        return usage(argv[0]);
+      }
+    } else if (arg == "--repair-evals") {
+      const auto v = dpcp::parse_int(value(), 0, 1 << 24);
+      if (!v) return usage(argv[0]);
+      options.repair_evals = *v;
+    } else if (arg == "--retry-cap") {
+      const auto v = dpcp::parse_int(value(), 0, 1 << 20);
+      if (!v) return usage(argv[0]);
+      options.retry_capacity = static_cast<std::size_t>(*v);
+    } else if (arg == "--seed") {
+      const auto v = dpcp::parse_uint(value());
+      if (!v) {
+        std::fprintf(stderr, "--seed: invalid unsigned integer\n");
+        return usage(argv[0]);
+      }
+      options.seed = *v;
+    } else if (arg == "--threads") {
+      const auto v = dpcp::parse_int(value(), 1, 1024);
+      if (!v) return usage(argv[0]);
+      options.threads = static_cast<int>(*v);
+    } else if (arg == "--validate") {
+      options.validate = true;
+    } else if (arg == "--csv") {
+      csv_path = value();
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(argv[0]);
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+
+  std::string spec_error;
+  const auto scenarios = dpcp::scenarios_from_spec(scenario_spec, &spec_error);
+  if (!scenarios) {
+    std::fprintf(stderr, "--scenarios: %s\n", spec_error.c_str());
+    return usage(argv[0]);
+  }
+  options.scenarios = *scenarios;
+
+  const auto results = dpcp::run_online(options);
+
+  if (csv_path.empty()) {
+    dpcp::write_online_csv(results, options, std::cout);
+  } else {
+    std::ofstream out(csv_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open '%s' for writing\n",
+                   csv_path.c_str());
+      return 1;
+    }
+    dpcp::write_online_csv(results, options, out);
+  }
+
+  int unsound = 0;
+  for (const auto& r : results) unsound += r.unsound;
+  if (unsound > 0) {
+    std::fprintf(stderr, "UNSOUND: %d simulator-refuted accepts\n", unsound);
+    return 1;
+  }
+  return 0;
+}

@@ -367,12 +367,66 @@ class DpcpPPrepared final : public PreparedAnalysis {
     append_cluster(part, task, out);
     append_cohosted(part, task, out);
     append_placement(part, out);
+    // User-set epochs of every resource whose demand tables the contention
+    // build reads for tau_i: its own resources, resources co-located with
+    // them (sharing an agent processor's tables), and resources inside its
+    // cluster (agent demand).  The placement map above pins *where* these
+    // sets live; the epochs pin *who* is in them — a session mutation that
+    // changes a user set without moving any resource still re-analyzes
+    // exactly the tasks reading it.
+    std::vector<char> mark(static_cast<std::size_t>(part.num_resources()), 0);
+    for (ResourceId q : session_.used_resources(task)) {
+      mark[static_cast<std::size_t>(q)] = 1;
+      const ProcessorId p = part.processor_of_resource(q);
+      if (p != Partition::kUnassigned)
+        for (ResourceId r : part.resources_on_processor(p))
+          mark[static_cast<std::size_t>(r)] = 1;
+    }
+    for (ResourceId r : part.resources_on_cluster(task))
+      mark[static_cast<std::size_t>(r)] = 1;
+    std::size_t marked = 0;
+    for (char c : mark) marked += static_cast<std::size_t>(c);
+    out->push_back(static_cast<Time>(marked));
+    for (ResourceId q = 0; q < part.num_resources(); ++q)
+      if (mark[static_cast<std::size_t>(q)]) append_users_epoch(q, out);
   }
 
   void invalidate(int task) override {
     TaskTables& tb = tables_[static_cast<std::size_t>(task)];
     tb.dirty = true;
     tb.have_result = false;
+  }
+
+  bool result_depends_on(int task,
+                         const std::vector<char>& changed) const override {
+    // The hint entries wcrt(task, ·) reads are exactly the contenders in
+    // its demand lists (Lemmas 2-6); with clean tables those lists are
+    // the authoritative read set.
+    const TaskTables& tb = tables_[static_cast<std::size_t>(task)];
+    if (tb.dirty) return true;
+    const auto any = [&changed](const DemandSoA& soa) {
+      for (int j : soa.task)
+        if (changed[static_cast<std::size_t>(j)]) return true;
+      return false;
+    };
+    return any(tb.hp) || any(tb.other) || any(tb.agent) || any(tb.preempt);
+  }
+
+  void on_taskset_changed(bool remap) override {
+    const std::size_t n = static_cast<std::size_t>(ts_.size());
+    if (remap) {
+      // Indices were renumbered: a surviving slot may now describe a
+      // different task, so drop every table (they rebuild lazily).
+      tables_.assign(n, TaskTables{});
+      return;
+    }
+    // Append / remove-last keeps surviving indices, periods, and relative
+    // priorities stable, and every cross-task input a table caches —
+    // contender membership per processor (user-set epochs of the marked
+    // resources), co-hosted preemptors, the placement map — is covered by
+    // partition_inputs().  Keep the survivors' tables; the span diff
+    // invalidates exactly the affected ones.  New slots start dirty.
+    tables_.resize(n);
   }
 
  private:

@@ -44,6 +44,12 @@ class FedFpPrepared final : public PreparedAnalysis {
     state_[static_cast<std::size_t>(task)].dirty = true;
   }
 
+  void on_taskset_changed(bool /*remap*/) override {
+    // Resource-oblivious: no cross-task reads beyond the co-hosted tasks
+    // already tokenized above, so no epochs are needed — just resize.
+    state_.assign(static_cast<std::size_t>(ts_.size()), State{});
+  }
+
  private:
   struct State {
     bool dirty = true;

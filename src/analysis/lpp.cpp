@@ -105,13 +105,24 @@ class LppPrepared final : public PreparedAnalysis {
   void partition_inputs(const Partition& part, int task,
                         std::vector<Time>* out) const override {
     // Lock waits are partition-independent under local execution; only
-    // m_i and the co-hosted (preempting) tasks are read.
+    // m_i and the co-hosted (preempting) tasks are read from the
+    // partition.  The wait terms do read *who* contends for tau_i's
+    // resources — tokenize those user-set epochs so session mutations
+    // re-analyze exactly the affected tasks.
     append_cluster(part, task, out);
     append_cohosted(part, task, out);
+    for (ResourceId q : session_.used_resources(task))
+      append_users_epoch(q, out);
   }
 
   void invalidate(int task) override {
     state_[static_cast<std::size_t>(task)].dirty = true;
+  }
+
+  void on_taskset_changed(bool /*remap*/) override {
+    const std::size_t n = static_cast<std::size_t>(ts_.size());
+    statics_.assign(n, TaskStatics{});
+    state_.assign(n, State{});
   }
 
  private:

@@ -13,8 +13,27 @@ PreparedAnalysis::PreparedAnalysis(AnalysisSession& session)
 
 void PreparedAnalysis::bind(const Partition& part) {
   WcrtOracle::bind(part);
+
+  // Reconcile with session mutations before any inputs are serialized
+  // (eager subclass statics feed partition_inputs()).  Adds keep the
+  // previous tokens — surviving indices still mean the same tasks, and the
+  // new tasks simply have no previous span, so they re-analyze; a remap
+  // renumbered the survivors, so the previous stream is meaningless and
+  // every task re-analyzes this bind.
+  if (seen_mutation_seq_ != session_.mutation_seq()) {
+    const bool remap = session_.remap_seq() > seen_mutation_seq_;
+    if (remap) {
+      bound_once_ = false;
+      prev_tokens_.clear();
+      prev_off_.clear();
+    }
+    on_taskset_changed(remap);
+    seen_mutation_seq_ = session_.mutation_seq();
+  }
+
   ++binds_;
   const std::size_t n = static_cast<std::size_t>(ts_.size());
+  unchanged_.resize(n);
 
   // Serialize this round's inputs for all tasks into one flat stream.
   cur_tokens_.clear();
@@ -29,7 +48,7 @@ void PreparedAnalysis::bind(const Partition& part) {
   // Span-vs-span diff against the previous round.
   for (int i = 0; i < ts_.size(); ++i) {
     const std::size_t ui = static_cast<std::size_t>(i);
-    bool same = bound_once_;
+    bool same = bound_once_ && ui + 1 < prev_off_.size();
     if (same) {
       const std::uint32_t cb = cur_off_[ui], ce = cur_off_[ui + 1];
       const std::uint32_t pb = prev_off_[ui], pe = prev_off_[ui + 1];

@@ -29,6 +29,18 @@ class PreparedAnalysis : public WcrtOracle {
   void bind(const Partition& part) override;
   bool task_unchanged(int task) const override;
 
+  /// May wcrt(task, hint) read the hint entry of any task flagged in
+  /// `changed` (indexed by task, sized ts.size())?  Callers replaying a
+  /// previous evaluation pass use this to reuse a token-unchanged task's
+  /// bound even though some *other* task's bound deviated: if none of the
+  /// deviating tasks is in `task`'s contender lists, its inputs are
+  /// bit-identical to the previous pass.  Only meaningful while
+  /// task_unchanged(task) holds.  Conservative default: yes (no reuse).
+  virtual bool result_depends_on(int /*task*/,
+                                 const std::vector<char>& /*changed*/) const {
+    return true;
+  }
+
   /// Telemetry of the cross-round diffing (read by bench_opt's
   /// incremental-reuse report and test_opt's diff-contract test): how
   /// many partitions were bound and, summed over binds, how many
@@ -52,6 +64,17 @@ class PreparedAnalysis : public WcrtOracle {
   /// cached partition-dependent state here.
   virtual void invalidate(int /*task*/) {}
 
+  /// Invoked from bind() when the session's task set was mutated since the
+  /// last bind, *before* partition_inputs() runs (so subclasses that
+  /// serialize eager statics rebuild them first).  Subclasses resize every
+  /// per-task container to the new task count and drop all per-task
+  /// partition-dependent state — mutation epochs and the span diff below
+  /// decide which tasks then skip re-analysis; stale caches must never.
+  /// `remap` is true when task indices were renumbered (mid-set removal):
+  /// the base class additionally forgets the previous token stream, so
+  /// every task re-analyzes on this bind.
+  virtual void on_taskset_changed(bool remap) = 0;
+
   // --- token helpers for partition_inputs() ------------------------------
   /// Task `i`'s cluster: size then processor ids.
   static void append_cluster(const Partition& part, int i,
@@ -63,6 +86,15 @@ class PreparedAnalysis : public WcrtOracle {
                               std::vector<Time>* out);
   /// The full resource-to-processor map.
   static void append_placement(const Partition& part, std::vector<Time>* out);
+  /// The session user-set epoch of resource q.  A subclass whose
+  /// wcrt(task, ·) reads *other* tasks' membership in q's user set (spin
+  /// contenders, agent demand, ceiling sets, ...) must tokenize the epoch
+  /// of every such q: session mutations bump exactly the epochs of the
+  /// resources whose user sets changed, so the span diff re-analyzes
+  /// exactly the affected tasks.  Constant 0 on immutable sessions.
+  void append_users_epoch(ResourceId q, std::vector<Time>* out) const {
+    out->push_back(static_cast<Time>(session_.resource_users_epoch(q)));
+  }
 
   AnalysisSession& session_;
   const TaskSet& ts_;
@@ -77,6 +109,7 @@ class PreparedAnalysis : public WcrtOracle {
   std::vector<std::uint32_t> prev_off_, cur_off_;
   std::vector<char> unchanged_;
   bool bound_once_ = false;
+  std::uint64_t seen_mutation_seq_ = 0;
   std::int64_t binds_ = 0;
   std::int64_t diffs_unchanged_ = 0;
   std::int64_t diffs_invalidated_ = 0;

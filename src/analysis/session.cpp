@@ -1,5 +1,8 @@
 #include "analysis/session.hpp"
 
+#include <algorithm>
+#include <stdexcept>
+
 #include "partition/partitioner.hpp"
 
 namespace dpcp {
@@ -72,6 +75,123 @@ const Slab<ResourceId>& AnalysisSession::used_resources(int task) {
 const Slab<ResourceId>& AnalysisSession::local_resources(int task) {
   ensure_task_tables();
   return locals_[static_cast<std::size_t>(task)];
+}
+
+void AnalysisSession::refresh_locals(int i) {
+  const std::size_t ui = static_cast<std::size_t>(i);
+  std::vector<ResourceId> tmp;
+  for (ResourceId q : used_[ui])
+    if (ts_.is_local(q)) tmp.push_back(q);
+  locals_[ui] = arena_.copy(tmp);
+}
+
+void AnalysisSession::priorities_from_order() {
+  const int n = ts_.size();
+  for (int r = 0; r < n; ++r)
+    mutable_ts_->task(order_[static_cast<std::size_t>(r)]).set_priority(n - r);
+}
+
+int AnalysisSession::add_task(DagTask task) {
+  if (!mutable_ts_)
+    throw std::logic_error("AnalysisSession::add_task on an immutable session");
+  const int idx = ts_.size();
+  const DagTask& adopted = mutable_ts_->adopt_task(std::move(task));
+  ++mutation_seq_;
+
+  // The new task joins the user set of everything it touches; tasks whose
+  // contention reads mention these resources must re-analyze.
+  for (ResourceId q : adopted.used_resources())
+    ++resource_epochs_[static_cast<std::size_t>(q)];
+
+  if (task_tables_ready_) {
+    const std::size_t n = static_cast<std::size_t>(ts_.size());
+    Slab<Time> grown = arena_.alloc<Time>(n);
+    for (std::size_t i = 0; i + 1 < n; ++i) grown[i] = periods_[i];
+    grown[n - 1] = adopted.period();
+    periods_ = grown;
+    used_.push_back(arena_.copy(adopted.used_resources()));
+    locals_.emplace_back();
+    refresh_locals(idx);
+    // A resource with exactly two users just flipped local -> global for
+    // its previous sole user.
+    for (ResourceId q : adopted.used_resources()) {
+      const auto us = ts_.users(q);
+      if (us.size() == 2) refresh_locals(us[0] == idx ? us[1] : us[0]);
+    }
+  }
+
+  if (order_ready_) {
+    // The order is increasing (period, id); the new id is the largest, so
+    // it lands after every task with period <= its own.
+    const auto it = std::upper_bound(
+        order_.begin(), order_.end(), idx, [this](int a, int b) {
+          if (ts_.task(a).period() != ts_.task(b).period())
+            return ts_.task(a).period() < ts_.task(b).period();
+          return ts_.task(a).id() < ts_.task(b).id();
+        });
+    order_.insert(it, idx);
+    priorities_from_order();
+  } else {
+    mutable_ts_->assign_rm_priorities();
+  }
+  return idx;
+}
+
+void AnalysisSession::remove_task(int task) {
+  if (!mutable_ts_)
+    throw std::logic_error(
+        "AnalysisSession::remove_task on an immutable session");
+  const std::size_t ut = static_cast<std::size_t>(task);
+  const bool remap = task != ts_.size() - 1;
+  ++mutation_seq_;
+  if (remap) remap_seq_ = mutation_seq_;
+
+  // The departing task leaves every user set it was in; under a remap all
+  // indices change meaning anyway and prepared analyses reset wholesale,
+  // but the epochs are bumped regardless so token streams never alias.
+  if (remap) {
+    for (auto& e : resource_epochs_) ++e;
+  } else {
+    for (ResourceId q : ts_.task(task).used_resources())
+      ++resource_epochs_[static_cast<std::size_t>(q)];
+  }
+
+  // Resources dropping to one user flip global -> local for the survivor;
+  // record survivors pre-removal, at their post-removal indices.
+  std::vector<int> flips;
+  if (task_tables_ready_) {
+    for (ResourceId q : ts_.task(task).used_resources()) {
+      const auto us = ts_.users(q);
+      if (us.size() == 2) {
+        const int other = us[0] == task ? us[1] : us[0];
+        flips.push_back(other > task ? other - 1 : other);
+      }
+    }
+  }
+
+  mutable_ts_->remove_task(task);
+
+  if (task_tables_ready_) {
+    const std::size_t n = static_cast<std::size_t>(ts_.size());
+    Slab<Time> shrunk = arena_.alloc<Time>(n);
+    for (int i = 0; i < ts_.size(); ++i)
+      shrunk[static_cast<std::size_t>(i)] = ts_.task(i).period();
+    periods_ = shrunk;
+    used_.erase(used_.begin() + static_cast<std::ptrdiff_t>(ut));
+    locals_.erase(locals_.begin() + static_cast<std::ptrdiff_t>(ut));
+    for (int j : flips) refresh_locals(j);
+  }
+  if (ut < paths_.size())
+    paths_.erase(paths_.begin() + static_cast<std::ptrdiff_t>(ut));
+
+  if (order_ready_) {
+    order_.erase(std::find(order_.begin(), order_.end(), task));
+    for (int& t : order_)
+      if (t > task) --t;
+    priorities_from_order();
+  } else {
+    mutable_ts_->assign_rm_priorities();
+  }
 }
 
 }  // namespace dpcp

@@ -53,15 +53,64 @@ struct PathSlab {
   const int* requests_of(std::size_t i) const { return requests + i * stride; }
 };
 
+/// Tag selecting the mutable-session constructor below.
+struct AllowMutation {};
+
 class AnalysisSession {
  public:
   /// `ts` must outlive the session and stay structurally unmodified.
-  explicit AnalysisSession(const TaskSet& ts) : ts_(ts) {}
+  explicit AnalysisSession(const TaskSet& ts)
+      : ts_(ts),
+        resource_epochs_(static_cast<std::size_t>(ts.num_resources()), 0) {}
+
+  /// Mutable session: `ts` must outlive the session and may only be
+  /// modified *through* add_task()/remove_task() below, which keep the
+  /// slabs, the priority order, and the invalidation epochs consistent.
+  AnalysisSession(TaskSet& ts, AllowMutation)
+      : ts_(ts),
+        mutable_ts_(&ts),
+        resource_epochs_(static_cast<std::size_t>(ts.num_resources()), 0) {}
 
   AnalysisSession(const AnalysisSession&) = delete;
   AnalysisSession& operator=(const AnalysisSession&) = delete;
 
   const TaskSet& taskset() const { return ts_; }
+
+  // --- mutation contract (mutable sessions only) --------------------------
+  //
+  // Every mutation extends/shrinks the SoA slabs in place, bumps the
+  // user-set epoch of each resource whose user set changed (prepared
+  // analyses mix these epochs into their per-task partition-input tokens,
+  // so exactly the tasks whose cross-task reads are affected re-analyze),
+  // reassigns unique Rate-Monotonic priorities by an incremental update of
+  // the cached priority order, and advances mutation_seq().  Removing any
+  // task but the last renumbers the survivors (remap_seq() advances too)
+  // and prepared analyses resynchronize wholesale on their next bind().
+  // Superseded arena slabs leak until the session dies — bounded by churn,
+  // the price of write-once slabs (documented in docs/architecture.md).
+
+  bool is_mutable() const { return mutable_ts_ != nullptr; }
+
+  /// Adopts `task` (arity must match) as the new last index and returns
+  /// that index.  Requires a mutable session.
+  int add_task(DagTask task);
+
+  /// Removes task `task`; later indices shift down one, mirroring
+  /// TaskSet::remove_task().  Requires a mutable session.
+  void remove_task(int task);
+
+  /// Monotone counter of mutations; prepared analyses compare it against
+  /// the value they last reconciled with.
+  std::uint64_t mutation_seq() const { return mutation_seq_; }
+  /// mutation_seq() value of the last index-renumbering mutation (0 =
+  /// never): a prepared analysis whose reconciled seq is older must drop
+  /// all per-index state instead of diffing.
+  std::uint64_t remap_seq() const { return remap_seq_; }
+  /// Bumped whenever resource q's user set changes; tokenized by prepared
+  /// analyses to invalidate cross-task contention reads.
+  std::uint32_t resource_users_epoch(ResourceId q) const {
+    return resource_epochs_[static_cast<std::size_t>(q)];
+  }
 
   /// Complete-path signatures of `task`, enumerated with DFS budget
   /// `max_paths` on first use and cached — keyed by (task, budget) — for
@@ -120,8 +169,15 @@ class AnalysisSession {
   };
 
   void ensure_task_tables();
+  /// Recomputes locals_[i] from used_[i] (a fresh arena copy; the old slab
+  /// leaks) after a resource's local/global classification flipped.
+  void refresh_locals(int i);
+  /// Rewrites every task's priority from the cached order_ (position r ->
+  /// priority n - r), the incremental equivalent of assign_rm_priorities().
+  void priorities_from_order();
 
   const TaskSet& ts_;
+  TaskSet* mutable_ts_ = nullptr;
   BumpArena arena_;
   CacheStats stats_;
   std::unordered_map<std::string, PlacementCache> placement_caches_;
@@ -136,6 +192,9 @@ class AnalysisSession {
   std::vector<Slab<ResourceId>> used_;
   std::vector<Slab<ResourceId>> locals_;
   bool task_tables_ready_ = false;
+  std::vector<std::uint32_t> resource_epochs_;
+  std::uint64_t mutation_seq_ = 0;
+  std::uint64_t remap_seq_ = 0;
   std::int64_t path_enumerations_ = 0;
   std::int64_t budget_reenumerations_ = 0;
 };

@@ -108,18 +108,35 @@ class SpinSonPrepared final : public PreparedAnalysis {
     const TaskStatics& ps = statics_[static_cast<std::size_t>(task)];
     out->push_back(static_cast<Time>(ps.contender_tasks.size()));
     for (int j : ps.contender_tasks) out->push_back(part.cluster_size(j));
+    // User-set epochs of tau_i's own resources: two contender sets with
+    // equal sizes and cluster sizes can still carry different demand after
+    // a session mutation swaps one contender for another.
+    for (ResourceId q : session_.used_resources(task))
+      append_users_epoch(q, out);
     // On shared processors the blocking/preemption terms evaluate
     // spin_delay() of co-located tasks, which reads the cluster size of
-    // *their* contenders -- conservatively fingerprint every cluster size.
+    // *their* contenders -- conservatively fingerprint every cluster size
+    // (and, same conservatism, every user-set epoch).
     if (part.task_shares_processor(task)) {
       out->push_back(static_cast<Time>(ts_.size()));
       for (int j = 0; j < ts_.size(); ++j)
         out->push_back(part.cluster_size(j));
+      for (ResourceId q = 0; q < part.num_resources(); ++q)
+        append_users_epoch(q, out);
     }
   }
 
   void invalidate(int task) override {
     state_[static_cast<std::size_t>(task)].dirty = true;
+  }
+
+  void on_taskset_changed(bool /*remap*/) override {
+    const std::size_t n = static_cast<std::size_t>(ts_.size());
+    statics_.assign(n, TaskStatics{});
+    state_.assign(n, State{});
+    // Rebuild eagerly: partition_inputs() above serializes the contender
+    // sets on the very next bind().
+    for (int i = 0; i < ts_.size(); ++i) build_statics(i);
   }
 
  private:

@@ -125,6 +125,7 @@ std::optional<TaskSet> taskset_from_text(const std::string& text,
       return std::nullopt;
     }
     DagTask task(-1, period, deadline, nr);
+    const int task_line = in.line();  // opening line, for error reports
 
     bool ended = false;
     while (in.next()) {
@@ -132,6 +133,13 @@ std::optional<TaskSet> taskset_from_text(const std::string& text,
       if (t[0] == "end") {
         ended = true;
         break;
+      }
+      if (t[0] == "task") {
+        // A new task header inside an unterminated block: blame the block
+        // that was left open, not the (well-formed) header line.
+        set_error(error, in.err("'task' before 'end' of task started at line " +
+                                std::to_string(task_line)));
+        return std::nullopt;
       }
       if (t[0] == "cs") {
         int q = 0;
@@ -185,7 +193,9 @@ std::optional<TaskSet> taskset_from_text(const std::string& text,
       }
     }
     if (!ended) {
-      set_error(error, in.err("missing 'end' for task"));
+      // Report the opening 'task' line, not wherever the input ran out.
+      set_error(error, "line " + std::to_string(task_line) +
+                           ": missing 'end' for task started here");
       return std::nullopt;
     }
     task.finalize();

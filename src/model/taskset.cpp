@@ -21,6 +21,12 @@ DagTask& TaskSet::adopt_task(DagTask task) {
   return tasks_.back();
 }
 
+void TaskSet::remove_task(int i) {
+  assert(i >= 0 && i < size());
+  tasks_.erase(tasks_.begin() + i);
+  for (int j = i; j < size(); ++j) tasks_[static_cast<std::size_t>(j)].set_id(j);
+}
+
 double TaskSet::total_utilization() const {
   double u = 0.0;
   for (const auto& t : tasks_) u += t.utilization();

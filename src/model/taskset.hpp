@@ -23,6 +23,12 @@ class TaskSet {
   /// Adopts a pre-built task (e.g. from the generator); its id is rewritten
   /// to the task's index in this set.  The task's resource arity must match.
   DagTask& adopt_task(DagTask task);
+
+  /// Removes task i; later tasks shift down one index and their ids are
+  /// rewritten to match (id == index stays invariant).  Priorities are not
+  /// touched — callers relying on Rate-Monotonic priorities reassign them
+  /// (AnalysisSession::remove_task() does).
+  void remove_task(int i);
   const DagTask& task(int i) const { return tasks_[i]; }
   DagTask& task(int i) { return tasks_[i]; }
   const std::vector<DagTask>& tasks() const { return tasks_; }

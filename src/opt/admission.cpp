@@ -1,0 +1,366 @@
+#include "opt/admission.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "partition/federated.hpp"
+#include "util/time.hpp"
+
+namespace dpcp {
+
+const char* admit_rung_token(AdmitRung rung) {
+  switch (rung) {
+    case AdmitRung::kNone:
+      return "-";
+    case AdmitRung::kDelta:
+      return "delta";
+    case AdmitRung::kReplace:
+      return "replace";
+    case AdmitRung::kRepair:
+      return "repair";
+  }
+  return "-";
+}
+
+AdmissionController::AdmissionController(int num_resources,
+                                         const AdmitOptions& options)
+    : options_(options),
+      ts_(num_resources),
+      session_(ts_, AllowMutation{}),
+      analysis_(make_analysis(options.kind, options.analysis)),
+      oracle_(analysis_->prepare(session_)),
+      part_(options.m, 0, num_resources),
+      rng_root_(options.seed) {}
+
+int AdmissionController::index_of(int external_id) const {
+  for (std::size_t i = 0; i < ext_ids_.size(); ++i)
+    if (ext_ids_[i] == external_id) return static_cast<int>(i);
+  return -1;
+}
+
+std::vector<ProcessorId> AdmissionController::spare_processors() const {
+  std::vector<char> used(static_cast<std::size_t>(options_.m), 0);
+  for (int i = 0; i < ts_.size(); ++i)
+    for (ProcessorId p : part_.cluster(i)) used[static_cast<std::size_t>(p)] = 1;
+  std::vector<ProcessorId> out;
+  for (ProcessorId p = 0; p < options_.m; ++p)
+    if (!used[static_cast<std::size_t>(p)]) out.push_back(p);
+  return out;
+}
+
+bool AdmissionController::evaluate(const Partition& part) {
+  oracle_->bind(part);
+  const std::size_t n = static_cast<std::size_t>(ts_.size());
+  const auto& order = session_.priority_order();
+
+  std::vector<Time> hint(n);
+  for (int j = 0; j < ts_.size(); ++j)
+    hint[static_cast<std::size_t>(j)] = ts_.task(j).deadline();
+  bounds_scratch_.assign(n, kTimeInfinity);
+  result_.assign(n, std::nullopt);
+
+  // prev_result_ holds the last *successful* pass; stable_[i] records
+  // that task i's partition inputs were certified unchanged by every
+  // bind since that pass (failed candidate evaluations included, since
+  // bind() diffs bind-to-bind).  Only a task whose inputs survived the
+  // whole chain may reuse its old bound.
+  const bool comparable = have_prev_ && prev_result_.size() == n;
+  stable_.resize(n, 0);
+  for (int i = 0; i < ts_.size(); ++i)
+    if (!oracle_->task_unchanged(i)) stable_[static_cast<std::size_t>(i)] = 0;
+
+  // Cross-evaluation reuse: a task keeps its previous bound when its
+  // inputs are unchanged since the last success AND none of the tasks
+  // whose bounds deviated so far (in analysis order; later tasks
+  // contribute their unchanged deadlines, not bounds) is in its contender
+  // read set — a sharper rule than the optimizer's any-deviation cutoff,
+  // which the arrival of a new task (nullopt -> bound) always trips.
+  deviated_scratch_.assign(n, 0);
+  bool any_deviation = false;
+  for (int i : order) {
+    const std::size_t ui = static_cast<std::size_t>(i);
+    std::optional<Time> r;
+    if (comparable && prev_result_[ui] && stable_[ui] &&
+        (!any_deviation ||
+         !oracle_->result_depends_on(i, deviated_scratch_))) {
+      r = prev_result_[ui];
+      ++stats_.tasks_reused;
+    } else {
+      r = oracle_->wcrt(i, hint);
+      ++stats_.oracle_calls;
+    }
+    result_[ui] = r;
+    if (comparable && r != prev_result_[ui]) {
+      deviated_scratch_[ui] = 1;
+      any_deviation = true;
+    }
+
+    const Time deadline = ts_.task(i).deadline();
+    if (!r || *r > deadline) {
+      // One deadline miss already refutes the candidate; stop instead of
+      // certifying the rest.  prev_result_ (and the stable_ streaks, which
+      // this bind already folded in) stay valid for the next evaluation.
+      return false;
+    }
+    hint[ui] = *r;
+    bounds_scratch_[ui] = *r;
+  }
+  prev_result_.swap(result_);
+  stable_.assign(n, 1);
+  have_prev_ = true;
+  return true;
+}
+
+bool AdmissionController::delta_place(int idx) {
+  const int need = min_federated_processors(ts_.task(idx));
+  const std::vector<ProcessorId> spares = spare_processors();
+  if (static_cast<int>(spares.size()) >= need) {
+    part_.set_cluster(
+        idx, std::vector<ProcessorId>(spares.begin(), spares.begin() + need));
+  } else if (need == 1) {
+    // No spare: pack on the least-utilized processor hosting only
+    // width-1 clusters (the Sec. VI light-task sharing rule); ties go to
+    // the lowest processor id.
+    ProcessorId best = Partition::kUnassigned;
+    double best_load = 0.0;
+    for (ProcessorId p = 0; p < options_.m; ++p) {
+      double load = 0.0;
+      bool shareable = false;
+      for (int j : part_.tasks_on_processor(p)) {
+        if (j == idx) continue;
+        if (part_.cluster_size(j) != 1) {
+          shareable = false;
+          break;
+        }
+        shareable = true;
+        load += ts_.task(j).utilization();
+      }
+      if (!shareable) continue;
+      if (best == Partition::kUnassigned || load < best_load) {
+        best = p;
+        best_load = load;
+      }
+    }
+    if (best == Partition::kUnassigned) return false;
+    part_.set_cluster(idx, {best});
+  } else {
+    return false;
+  }
+
+  // Agents only for resources that just became global: everything already
+  // placed stays put, so the surviving tasks' placement fingerprints (and
+  // with them the oracle's cached bounds) survive the arrival.
+  place_new_globals();
+  return !part_.validate(ts_).has_value();
+}
+
+void AdmissionController::place_new_globals() {
+  // Spread each newly global resource onto the processor hosting the
+  // fewest agents so far (ties to the lowest id): keeps synchronization
+  // processors from piling up on one early arrival's home, and keeps the
+  // per-processor contention read sets — and with them the oracle's
+  // epoch-marked invalidation cones — narrow.
+  for (ResourceId q = 0; q < ts_.num_resources(); ++q) {
+    if (part_.processor_of_resource(q) != Partition::kUnassigned ||
+        !ts_.is_global(q))
+      continue;
+    ProcessorId best = 0;
+    std::size_t best_count = part_.resources_on_processor(0).size();
+    for (ProcessorId p = 1; p < options_.m; ++p) {
+      const std::size_t count = part_.resources_on_processor(p).size();
+      if (count < best_count) {
+        best = p;
+        best_count = count;
+      }
+    }
+    part_.assign_resource(q, best);
+  }
+}
+
+bool AdmissionController::steal_cluster(int idx) {
+  const int need = min_federated_processors(ts_.task(idx));
+  std::vector<ProcessorId> cl = spare_processors();
+  if (static_cast<int>(cl.size()) > need) cl.resize(static_cast<std::size_t>(need));
+  while (static_cast<int>(cl.size()) < need) {
+    int donor = -1;
+    for (int j = 0; j < ts_.size(); ++j) {
+      if (j == idx || part_.cluster_size(j) < 2) continue;
+      if (donor < 0 || part_.cluster_size(j) > part_.cluster_size(donor))
+        donor = j;
+    }
+    if (donor < 0) return false;
+    std::vector<ProcessorId> dc = part_.cluster(donor);
+    cl.push_back(dc.back());
+    dc.pop_back();
+    part_.set_cluster(donor, std::move(dc));
+  }
+  part_.set_cluster(idx, std::move(cl));
+  place_new_globals();
+  return !part_.validate(ts_).has_value();
+}
+
+AdmitDecision AdmissionController::admit_with_id(int external_id,
+                                                 DagTask task) {
+  AdmitDecision d;
+  d.id = external_id;
+  const std::int64_t calls_before = stats_.oracle_calls;
+  ++admit_seq_;
+
+  // Structurally hopeless: no cluster makes a critical path longer than
+  // the deadline feasible, so reject outright and never queue.
+  if (task.longest_path_length() >= task.deadline()) {
+    ++stats_.rejected;
+    return d;
+  }
+
+  DagTask retry_copy = task;  // survives in the queue if every rung fails
+  const Partition snapshot = part_;
+  const int idx = session_.add_task(std::move(task));
+  part_.append_task_slot();
+  ext_ids_.push_back(external_id);
+  prev_result_.push_back(std::nullopt);
+
+  bool accepted = false;
+  std::vector<Partition> seeds;
+
+  // Rung 1 — delta placement: a cluster from spares (or a shared light
+  // processor), agents only for newly global resources.
+  if (delta_place(idx)) {
+    if (evaluate(part_)) {
+      accepted = true;
+      d.rung = AdmitRung::kDelta;
+      ++stats_.delta_accepts;
+    } else {
+      seeds.push_back(part_);
+    }
+  }
+
+  // Rung 2 — full strategy re-placements on the rung-1 cluster shape.
+  if (!accepted && part_.cluster_size(idx) > 0) {
+    for (PlacementKind kind : options_.placements) {
+      Partition cand = part_;
+      if (!placement_strategy(kind).place_resources(ts_, cand)) continue;
+      if (cand.validate(ts_).has_value()) continue;
+      if (evaluate(cand)) {
+        part_ = std::move(cand);
+        accepted = true;
+        d.rung = AdmitRung::kReplace;
+        ++stats_.replace_accepts;
+        break;
+      }
+      seeds.push_back(std::move(cand));
+    }
+  }
+
+  // Rung 3 — budgeted Move-search repair seeded from the failed attempts
+  // (or, when no rung could even form a cluster, from stolen processors).
+  if (!accepted && options_.repair_evals > 0) {
+    if (seeds.empty() && part_.cluster_size(idx) == 0 && steal_cluster(idx))
+      seeds.push_back(part_);
+    if (!seeds.empty()) {
+      OptOptions opt_options;
+      opt_options.max_evals = options_.repair_evals;
+      PartitionOptimizer search(ts_, options_.m, *oracle_,
+                                session_.priority_order(),
+                                rng_root_.fork(admit_seq_), opt_options);
+      std::vector<const Partition*> seed_ptrs;
+      seed_ptrs.reserve(seeds.size());
+      for (const Partition& s : seeds) seed_ptrs.push_back(&s);
+      const SearchResult res = search.run(seed_ptrs);
+      stats_.oracle_calls += res.stats.oracle_calls;
+      stats_.tasks_reused += res.stats.tasks_reused;
+      have_prev_ = false;  // the search's binds moved past our prev results
+      if (res.schedulable && evaluate(res.partition)) {
+        part_ = res.partition;
+        accepted = true;
+        d.rung = AdmitRung::kRepair;
+        ++stats_.repair_accepts;
+      }
+    }
+  }
+
+  if (accepted) {
+    wcrt_ = bounds_scratch_;
+    ++stats_.accepted;
+    d.accepted = true;
+  } else {
+    // Roll back.  The new task holds the last index, so the survivors
+    // keep their indices — and the oracle its fingerprints and bounds.
+    session_.remove_task(idx);
+    part_ = snapshot;
+    ext_ids_.pop_back();
+    if (prev_result_.size() > static_cast<std::size_t>(ts_.size()))
+      prev_result_.resize(static_cast<std::size_t>(ts_.size()));
+    ++stats_.rejected;
+    retry_.push_back(Pending{external_id, std::move(retry_copy)});
+    d.queued = true;
+    if (retry_.size() > options_.retry_capacity) {
+      retry_.pop_front();
+      ++stats_.retry_evictions;
+    }
+  }
+  d.cost = stats_.oracle_calls - calls_before;
+  return d;
+}
+
+AdmitDecision AdmissionController::admit(DagTask task) {
+  ++stats_.submitted;
+  task.finalize();  // idempotent; derived L*/N_{i,q} must be fresh
+  return admit_with_id(next_ext_++, std::move(task));
+}
+
+DepartOutcome AdmissionController::depart(int external_id) {
+  DepartOutcome out;
+  const int idx = index_of(external_id);
+  if (idx < 0) {
+    for (auto it = retry_.begin(); it != retry_.end(); ++it) {
+      if (it->id == external_id) {
+        retry_.erase(it);
+        out.found = true;
+        ++stats_.departed;
+        break;
+      }
+    }
+    return out;
+  }
+  out.found = true;
+  out.was_resident = true;
+  ++stats_.departed;
+  const std::int64_t calls_before = stats_.oracle_calls;
+
+  const bool was_last = idx == ts_.size() - 1;
+  session_.remove_task(idx);
+  part_.erase_task_slot(idx);
+  ext_ids_.erase(ext_ids_.begin() + idx);
+  // Survivors keep their certified bounds: removing a task only removes
+  // non-negative demand/blocking terms from every analysis here, so the
+  // old bounds stay valid upper bounds.
+  wcrt_.erase(wcrt_.begin() + idx);
+  if (was_last) {
+    if (prev_result_.size() > static_cast<std::size_t>(ts_.size()))
+      prev_result_.resize(static_cast<std::size_t>(ts_.size()));
+  } else {
+    // Indices renumbered: the oracle resets wholesale on its next bind,
+    // and our cached bounds no longer line up with its diff state.
+    have_prev_ = false;
+    prev_result_.assign(static_cast<std::size_t>(ts_.size()), std::nullopt);
+  }
+
+  // Opportunistic re-admission: one FIFO pass over the queue; failures
+  // re-queue at the back (admit_with_id does that itself).
+  if (options_.readmit_on_depart && !retry_.empty()) {
+    std::deque<Pending> waiting;
+    waiting.swap(retry_);
+    for (Pending& p : waiting) {
+      AdmitDecision d = admit_with_id(p.id, std::move(p.task));
+      if (d.accepted) {
+        ++stats_.readmits;
+        out.readmitted.push_back(d);
+      }
+    }
+  }
+  out.cost = stats_.oracle_calls - calls_before;
+  return out;
+}
+
+}  // namespace dpcp

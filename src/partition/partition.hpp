@@ -66,6 +66,18 @@ class Partition {
   /// Replaces task i's cluster entirely (used when promoting a light task
   /// from a shared processor to a dedicated one).
   void set_cluster(int task, std::vector<ProcessorId> procs);
+  /// Appends an empty cluster slot for a newly admitted task (its index is
+  /// the previous num_tasks()).  The slot must be populated before
+  /// validate() — empty clusters are invalid.
+  void append_task_slot() { clusters_.emplace_back(); }
+  /// Erases task i's cluster slot; later tasks shift down one index,
+  /// mirroring TaskSet::remove_task().  Freed processors become spare;
+  /// resources placed on them stay put (a processor hosting only agents is
+  /// a valid dedicated synchronization processor).
+  void erase_task_slot(int task) {
+    assert(task >= 0 && task < num_tasks());
+    clusters_.erase(clusters_.begin() + task);
+  }
   /// Total processors currently hosting at least one task.
   int assigned_processors() const;
 

@@ -1,0 +1,241 @@
+#include "serve/server.hpp"
+
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "io/taskset_io.hpp"
+#include "opt/admission.hpp"
+
+namespace dpcp {
+namespace {
+
+/// Splits one command line into whitespace tokens.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream ls(line);
+  std::string tok;
+  while (ls >> tok) out.push_back(tok);
+  return out;
+}
+
+/// Reads a payload block: raw lines up to (excluding) a lone ".".
+/// Returns false when the stream ends before the terminator.
+bool read_block(std::istream& in, std::string* block) {
+  block->clear();
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line == ".") return true;
+    block->append(line);
+    block->push_back('\n');
+  }
+  return false;
+}
+
+/// Whole-string base-10 int (strict; the server never guesses).
+bool parse_id(const std::string& tok, int* out) {
+  if (tok.empty()) return false;
+  std::size_t k = 0;
+  if (tok[0] == '-') k = 1;
+  if (k == tok.size()) return false;
+  long long v = 0;
+  for (; k < tok.size(); ++k) {
+    if (tok[k] < '0' || tok[k] > '9') return false;
+    v = v * 10 + (tok[k] - '0');
+    if (v > INT32_MAX) return false;
+  }
+  *out = tok[0] == '-' ? -static_cast<int>(v) : static_cast<int>(v);
+  return true;
+}
+
+class Server {
+ public:
+  Server(std::istream& in, std::ostream& out, const ServeOptions& options)
+      : in_(in), out_(out), options_(options) {}
+
+  void run() {
+    std::string line;
+    while (std::getline(in_, line)) {
+      const std::vector<std::string> cmd = tokenize(line);
+      if (cmd.empty()) continue;  // blank lines are free
+      if (cmd[0] == "quit") {
+        out_ << "ok quit\n";
+        return;
+      }
+      dispatch(cmd);
+      out_.flush();  // interactive clients see each reply promptly
+    }
+  }
+
+ private:
+  void dispatch(const std::vector<std::string>& cmd) {
+    if (cmd[0] == "load") return do_load(cmd);
+    if (cmd[0] == "admit") return do_admit(cmd);
+    if (cmd[0] == "depart") return do_depart(cmd);
+    if (cmd[0] == "query") return do_query(cmd);
+    if (cmd[0] == "stats") return do_stats(cmd);
+    out_ << "error unknown command '" << cmd[0] << "'\n";
+  }
+
+  /// Consumes the payload block a command announced; emits the protocol
+  /// error itself when the block is unterminated or unparsable.
+  std::optional<TaskSet> read_taskset() {
+    std::string block;
+    if (!read_block(in_, &block)) {
+      out_ << "error unterminated payload (expected '.')\n";
+      return std::nullopt;
+    }
+    std::string parse_error;
+    auto ts = taskset_from_text(block, &parse_error);
+    if (!ts) out_ << "error parse: " << parse_error << "\n";
+    return ts;
+  }
+
+  void emit_decision(const AdmitDecision& d) {
+    out_ << "admit id=" << d.id << (d.accepted ? " accepted" : " rejected")
+         << " rung=" << admit_rung_token(d.rung) << " calls=" << d.cost
+         << " queued=" << (d.queued ? 1 : 0) << "\n";
+  }
+
+  /// Admits every task of `ts` in file order; returns the accept count.
+  int admit_all(const TaskSet& ts) {
+    int accepted = 0;
+    for (int i = 0; i < ts.size(); ++i) {
+      const AdmitDecision d = ctrl_->admit(ts.task(i));
+      emit_decision(d);
+      if (d.accepted) ++accepted;
+    }
+    return accepted;
+  }
+
+  void do_load(const std::vector<std::string>& cmd) {
+    if (cmd.size() != 1) {
+      out_ << "error usage: load (payload block follows)\n";
+      return;
+    }
+    const auto ts = read_taskset();
+    if (!ts) return;
+    AdmitOptions admit;
+    admit.m = options_.m;
+    admit.kind = options_.kind;
+    admit.analysis = options_.analysis;
+    admit.repair_evals = options_.repair_evals;
+    admit.retry_capacity = options_.retry_capacity;
+    admit.seed = options_.seed;
+    ctrl_ = std::make_unique<AdmissionController>(ts->num_resources(), admit);
+    const int accepted = admit_all(*ts);
+    out_ << "ok load resources=" << ts->num_resources()
+         << " submitted=" << ts->size() << " accepted=" << accepted
+         << " resident=" << ctrl_->resident() << "\n";
+  }
+
+  void do_admit(const std::vector<std::string>& cmd) {
+    if (cmd.size() != 1) {
+      out_ << "error usage: admit (payload block follows)\n";
+      return;
+    }
+    if (!ctrl_) {
+      // Still consume the announced payload so the stream stays framed.
+      std::string block;
+      read_block(in_, &block);
+      out_ << "error no workload loaded (use 'load')\n";
+      return;
+    }
+    const auto ts = read_taskset();
+    if (!ts) return;
+    if (ts->num_resources() != ctrl_->taskset().num_resources()) {
+      out_ << "error resource arity " << ts->num_resources()
+           << " != loaded workload's " << ctrl_->taskset().num_resources()
+           << "\n";
+      return;
+    }
+    const int accepted = admit_all(*ts);
+    out_ << "ok admit submitted=" << ts->size() << " accepted=" << accepted
+         << " resident=" << ctrl_->resident() << "\n";
+  }
+
+  void do_depart(const std::vector<std::string>& cmd) {
+    int id = 0;
+    if (cmd.size() != 2 || !parse_id(cmd[1], &id)) {
+      out_ << "error usage: depart <id>\n";
+      return;
+    }
+    if (!ctrl_) {
+      out_ << "error no workload loaded (use 'load')\n";
+      return;
+    }
+    const DepartOutcome gone = ctrl_->depart(id);
+    if (!gone.found) {
+      out_ << "error unknown id " << id << "\n";
+      return;
+    }
+    out_ << "gone id=" << id
+         << (gone.was_resident ? " resident" : " queued") << "\n";
+    for (const AdmitDecision& d : gone.readmitted) emit_decision(d);
+    out_ << "ok depart readmitted=" << gone.readmitted.size()
+         << " calls=" << gone.cost << " resident=" << ctrl_->resident()
+         << "\n";
+  }
+
+  void do_query(const std::vector<std::string>& cmd) {
+    if (cmd.size() != 1) {
+      out_ << "error usage: query\n";
+      return;
+    }
+    if (!ctrl_) {
+      out_ << "error no workload loaded (use 'load')\n";
+      return;
+    }
+    const TaskSet& ts = ctrl_->taskset();
+    for (int i = 0; i < ts.size(); ++i) {
+      out_ << "task id=" << ctrl_->external_id(i)
+           << " period=" << ts.task(i).period()
+           << " deadline=" << ts.task(i).deadline()
+           << " wcrt=" << ctrl_->wcrt()[static_cast<std::size_t>(i)]
+           << " cluster=";
+      const auto& cl = ctrl_->partition().cluster(i);
+      for (std::size_t k = 0; k < cl.size(); ++k)
+        out_ << (k ? "," : "") << cl[k];
+      out_ << "\n";
+    }
+    out_ << "ok query resident=" << ctrl_->resident()
+         << " retry=" << ctrl_->retry_queue_size() << "\n";
+  }
+
+  void do_stats(const std::vector<std::string>& cmd) {
+    if (cmd.size() != 1) {
+      out_ << "error usage: stats\n";
+      return;
+    }
+    if (!ctrl_) {
+      out_ << "error no workload loaded (use 'load')\n";
+      return;
+    }
+    const AdmissionStats& s = ctrl_->stats();
+    out_ << "ok stats submitted=" << s.submitted << " accepted=" << s.accepted
+         << " rejected=" << s.rejected << " departed=" << s.departed
+         << " delta=" << s.delta_accepts << " replace=" << s.replace_accepts
+         << " repair=" << s.repair_accepts << " readmits=" << s.readmits
+         << " evictions=" << s.retry_evictions
+         << " oracle_calls=" << s.oracle_calls << " reused=" << s.tasks_reused
+         << " retry=" << ctrl_->retry_queue_size() << "\n";
+  }
+
+  std::istream& in_;
+  std::ostream& out_;
+  const ServeOptions options_;
+  std::unique_ptr<AdmissionController> ctrl_;
+};
+
+}  // namespace
+
+int run_server(std::istream& in, std::ostream& out,
+               const ServeOptions& options) {
+  Server(in, out, options).run();
+  return 0;
+}
+
+}  // namespace dpcp

@@ -1,0 +1,53 @@
+// Schedulability as a service: a line-oriented command front over the
+// online AdmissionController (opt/admission.hpp).
+//
+// The server reads commands from an input stream and answers on an
+// output stream, one self-contained session per run_server() call:
+//
+//   load                       # create a workload; payload follows
+//   <dpcp-taskset v1 block>    # io/taskset_io text, raw lines
+//   .                          # lone dot terminates the payload
+//   admit                      # admit more tasks (same payload framing)
+//   ...
+//   .
+//   depart 3                   # remove task with external id 3
+//   query                      # resident table with certified bounds
+//   stats                      # lifetime counters
+//   quit
+//
+// Every reply line starts with `admit`, `task`, `gone`, `ok <cmd>` or
+// `error`; a command's reply always ends with exactly one `ok`/`error`
+// line, so clients (and the golden-transcript test) can frame responses
+// without timing.  Output is a pure function of the input stream and the
+// options — no clocks, no ambient randomness — which is what lets CI
+// diff a live session against a committed transcript byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "analysis/interface.hpp"
+
+namespace dpcp {
+
+/// Server-lifetime knobs (everything else arrives via commands).
+struct ServeOptions {
+  /// Platform size handed to every controller created by `load`.
+  int m = 16;
+  /// Analysis vouching for admissions.
+  AnalysisKind kind = AnalysisKind::kDpcpPEp;
+  AnalysisOptions analysis;
+  /// Budget of the Move-search repair rung (0 disables repair).
+  std::int64_t repair_evals = 200;
+  /// Retry-queue capacity.
+  std::size_t retry_capacity = 16;
+  /// Root seed of the repair search streams.
+  std::uint64_t seed = 42;
+};
+
+/// Runs one command session to EOF or `quit`.  Returns 0 always: protocol
+/// errors are in-band `error` replies, not process failures.
+int run_server(std::istream& in, std::ostream& out,
+               const ServeOptions& options);
+
+}  // namespace dpcp

@@ -1,0 +1,355 @@
+// Tests for the online admission layer: the mutable AnalysisSession
+// contract (mutate-then-analyze must equal a fresh session on the mutated
+// set, for every analysis), and the AdmissionController's escalation
+// ladder, rollback, retry queue, departures, and soundness (an accepted
+// workload must re-certify from scratch and survive a worst-case
+// simulation of the certified partition).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <optional>
+#include <vector>
+
+#include "analysis/interface.hpp"
+#include "analysis/prepared.hpp"
+#include "analysis/session.hpp"
+#include "exp/validate.hpp"
+#include "gen/scenario.hpp"
+#include "gen/taskset_gen.hpp"
+#include "opt/admission.hpp"
+#include "partition/federated.hpp"
+#include "util/rng.hpp"
+
+namespace dpcp {
+namespace {
+
+/// Evaluates every task in priority order with the deadline-seeded hint
+/// chain the optimizer and the admission controller both use.
+std::vector<std::optional<Time>> chain_eval(PreparedAnalysis& oracle,
+                                            const TaskSet& ts,
+                                            const std::vector<int>& order,
+                                            const Partition& part) {
+  oracle.bind(part);
+  std::vector<Time> hint(static_cast<std::size_t>(ts.size()));
+  for (int i = 0; i < ts.size(); ++i)
+    hint[static_cast<std::size_t>(i)] = ts.task(i).deadline();
+  std::vector<std::optional<Time>> out(static_cast<std::size_t>(ts.size()));
+  for (int i : order) {
+    const std::size_t ui = static_cast<std::size_t>(i);
+    out[ui] = oracle.wcrt(i, hint);
+    if (out[ui] && *out[ui] <= ts.task(i).deadline()) hint[ui] = *out[ui];
+  }
+  return out;
+}
+
+/// Same bounds as a brand-new session over the same (mutated) task set.
+void expect_equals_fresh(const TaskSet& ts, const Partition& part,
+                         AnalysisKind kind,
+                         const std::vector<std::optional<Time>>& mutated,
+                         const char* where) {
+  TaskSet copy = ts;
+  AnalysisSession fresh(copy);
+  const auto analysis = make_analysis(kind);
+  const auto oracle = analysis->prepare(fresh);
+  const auto expected = chain_eval(*oracle, copy, fresh.priority_order(), part);
+  ASSERT_EQ(mutated.size(), expected.size()) << where;
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    EXPECT_EQ(mutated[i], expected[i])
+        << where << " task " << i << " kind " << static_cast<int>(kind);
+}
+
+// ---------- mutate-vs-fresh equality ---------------------------------------
+
+// Remove a task (middle -> remap, last -> fast path), re-analyze, then
+// re-add it; after every mutation the incrementally maintained session +
+// oracle must reproduce a fresh session bit-for-bit, for all five
+// analyses.  40 seeds x 5 kinds = 200 mutated-set comparisons, spread
+// over the four fig2 scenario corners.
+class MutateVsFreshTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MutateVsFreshTest, RemoveThenReaddMatchesFreshSession) {
+  const int seed = GetParam();
+  Rng rng(9100 + seed);
+  GenParams params;
+  params.scenario = fig2_scenario("abcd"[seed % 4]);
+  params.total_utilization = 0.4 * params.scenario.m;
+  const auto generated = generate_taskset(rng, params);
+  ASSERT_TRUE(generated.has_value());
+  const auto base = baseline_partition(*generated, params.scenario.m);
+  ASSERT_TRUE(base.has_value());
+
+  for (AnalysisKind kind : all_analysis_kinds()) {
+    TaskSet ts = *generated;
+    Partition part = *base;
+    AnalysisSession session(ts, AllowMutation{});
+    const auto analysis = make_analysis(kind);
+    const auto oracle = analysis->prepare(session);
+
+    // Warm the caches on the unmutated set (and exercise the no-change
+    // rebind diff once).
+    chain_eval(*oracle, ts, session.priority_order(), part);
+    chain_eval(*oracle, ts, session.priority_order(), part);
+
+    // Remove: middle index on even seeds (remap), last on odd (fast path).
+    const int victim = seed % 2 ? ts.size() - 1 : ts.size() / 2;
+    DagTask removed = ts.task(victim);
+    const std::vector<ProcessorId> cluster = part.cluster(victim);
+    session.remove_task(victim);
+    part.erase_task_slot(victim);
+    const auto after_remove =
+        chain_eval(*oracle, ts, session.priority_order(), part);
+    expect_equals_fresh(ts, part, kind, after_remove, "after remove");
+
+    // Re-add the same task; it lands at the end with a fresh id.
+    const int idx = session.add_task(std::move(removed));
+    ASSERT_EQ(idx, ts.size() - 1);
+    part.append_task_slot();
+    part.set_cluster(idx, cluster);
+    const auto after_add =
+        chain_eval(*oracle, ts, session.priority_order(), part);
+    expect_equals_fresh(ts, part, kind, after_add, "after re-add");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutateVsFreshTest, ::testing::Range(0, 40));
+
+TEST(Session, AddTaskOnImmutableSessionThrows) {
+  TaskSet ts(0);
+  DagTask& t = ts.add_task(100, 100);
+  t.add_vertex(10);
+  ts.assign_rm_priorities();
+  ts.finalize();
+  AnalysisSession session(ts);
+  EXPECT_FALSE(session.is_mutable());
+  EXPECT_THROW(session.add_task(DagTask(0, 100, 100, 0)), std::logic_error);
+}
+
+// ---------- admission controller -------------------------------------------
+
+/// A heavy task needing ceil((C-L*)/(D-L*)) = `need` dedicated processors:
+/// a 10-unit head fanning out to (need+1) parallel 45-unit vertices, so
+/// L* = 55, C = 10 + 45*(need+1), and ceil((C-L*)/(D-L*)) = need.  Its
+/// federated bound on `need` processors is exactly the deadline.
+DagTask heavy_task(int need, int num_resources) {
+  DagTask t(0, 100, 100, num_resources);
+  t.add_vertex(10);
+  for (int k = 0; k <= need; ++k) {
+    t.add_vertex(45);
+    t.graph().add_edge(0, k + 1);
+  }
+  t.finalize();
+  return t;
+}
+
+TEST(Admission, FillPlatformThenRejectAndQueue) {
+  AdmitOptions opt;
+  opt.m = 4;
+  opt.kind = AnalysisKind::kFedFp;
+  AdmissionController ctrl(0, opt);
+
+  const AdmitDecision a = ctrl.admit(heavy_task(2, 0));
+  const AdmitDecision b = ctrl.admit(heavy_task(2, 0));
+  EXPECT_TRUE(a.accepted);
+  EXPECT_TRUE(b.accepted);
+  EXPECT_EQ(a.rung, AdmitRung::kDelta);
+  EXPECT_EQ(a.id, 0);
+  EXPECT_EQ(b.id, 1);
+  EXPECT_EQ(ctrl.resident(), 2);
+
+  // Platform full: the third arrival fails every rung and parks.
+  const AdmitDecision c = ctrl.admit(heavy_task(2, 0));
+  EXPECT_FALSE(c.accepted);
+  EXPECT_TRUE(c.queued);
+  EXPECT_EQ(ctrl.resident(), 2);
+  EXPECT_EQ(ctrl.retry_queue_size(), 1u);
+  // Rollback restored the incumbent partition.
+  EXPECT_FALSE(ctrl.partition().validate(ctrl.taskset()).has_value());
+
+  // A departure frees capacity and the re-admission pass picks it up.
+  const DepartOutcome gone = ctrl.depart(0);
+  EXPECT_TRUE(gone.found);
+  EXPECT_TRUE(gone.was_resident);
+  ASSERT_EQ(gone.readmitted.size(), 1u);
+  EXPECT_EQ(gone.readmitted[0].id, 2);
+  EXPECT_TRUE(gone.readmitted[0].accepted);
+  EXPECT_EQ(ctrl.resident(), 2);
+  EXPECT_EQ(ctrl.retry_queue_size(), 0u);
+  EXPECT_EQ(ctrl.index_of(0), -1);
+  EXPECT_GE(ctrl.index_of(2), 0);
+  EXPECT_EQ(ctrl.stats().readmits, 1);
+  EXPECT_EQ(ctrl.stats().accepted, 3);
+  EXPECT_EQ(ctrl.stats().rejected, 1);
+}
+
+TEST(Admission, RetryQueueIsBoundedAndDepartsFromQueue) {
+  AdmitOptions opt;
+  opt.m = 1;
+  opt.kind = AnalysisKind::kFedFp;
+  opt.retry_capacity = 2;
+  AdmissionController ctrl(0, opt);
+
+  // Nothing needing two processors fits on m=1; every arrival queues.
+  for (int i = 0; i < 4; ++i) {
+    const AdmitDecision d = ctrl.admit(heavy_task(2, 0));
+    EXPECT_FALSE(d.accepted);
+    EXPECT_TRUE(d.queued);
+  }
+  EXPECT_EQ(ctrl.retry_queue_size(), 2u);
+  EXPECT_EQ(ctrl.stats().retry_evictions, 2);
+
+  // Ids 0 and 1 were evicted; 2 and 3 wait.  Departing a queued id just
+  // removes it.
+  EXPECT_FALSE(ctrl.depart(0).found);
+  const DepartOutcome q = ctrl.depart(3);
+  EXPECT_TRUE(q.found);
+  EXPECT_FALSE(q.was_resident);
+  EXPECT_EQ(ctrl.retry_queue_size(), 1u);
+}
+
+TEST(Admission, StructurallyInfeasibleTaskIsNeverQueued) {
+  AdmitOptions opt;
+  opt.m = 8;
+  opt.kind = AnalysisKind::kFedFp;
+  AdmissionController ctrl(0, opt);
+  DagTask t(0, 100, 50, 0);  // L* = 100 >= D = 50
+  t.add_vertex(100);
+  t.finalize();
+  const AdmitDecision d = ctrl.admit(std::move(t));
+  EXPECT_FALSE(d.accepted);
+  EXPECT_FALSE(d.queued);
+  EXPECT_EQ(ctrl.retry_queue_size(), 0u);
+  EXPECT_EQ(ctrl.stats().rejected, 1);
+}
+
+/// Pulls individual finalized tasks out of generated task sets so a
+/// stream shares one resource arity.
+class TaskPool {
+ public:
+  TaskPool(const Scenario& scenario, int num_resources, std::uint64_t seed)
+      : scenario_(scenario), nr_(num_resources), rng_(seed) {}
+
+  DagTask next() {
+    while (pool_.empty()) refill();
+    DagTask t = std::move(pool_.back());
+    pool_.pop_back();
+    return t;
+  }
+
+ private:
+  void refill() {
+    GenParams params;
+    params.scenario = scenario_;
+    params.scenario.nr_min = nr_;
+    params.scenario.nr_max = nr_;
+    params.total_utilization = 0.4 * scenario_.m;
+    Rng fork = rng_.fork(++refills_);
+    const auto ts = generate_taskset(fork, params);
+    if (!ts) return;
+    for (int i = 0; i < ts->size(); ++i) pool_.push_back(ts->task(i));
+  }
+
+  Scenario scenario_;
+  int nr_;
+  Rng rng_;
+  std::uint64_t refills_ = 0;
+  std::vector<DagTask> pool_;
+};
+
+// Every accept must (a) re-certify on a fresh session over the resident
+// set with identical bounds — the controller's incremental state buys
+// speed, never different answers — and (b) survive a worst-case
+// simulation of the certified partition (zero sim-refuted accepts).
+TEST(Admission, AcceptsRecertifyFreshAndSurviveSimulation) {
+  const int kNumResources = 6;
+  AdmitOptions opt;
+  opt.m = fig2_scenario('a').m;
+  opt.kind = AnalysisKind::kDpcpPEp;
+  opt.repair_evals = 100;
+  AdmissionController ctrl(kNumResources, opt);
+  TaskPool pool(fig2_scenario('a'), kNumResources, 4242);
+
+  Rng sim_rng(777);
+  SimBackendOptions sim_opt;
+  const auto protocol = sim_protocol_for(opt.kind);
+  ASSERT_TRUE(protocol.has_value());
+
+  int accepts = 0;
+  Rng stream(31);
+  for (int ev = 0; ev < 40; ++ev) {
+    const bool depart =
+        ctrl.resident() > 2 && stream.canonical() < 0.3;
+    if (depart) {
+      const int victim = stream.uniform_int(0, ctrl.resident() - 1);
+      ASSERT_TRUE(ctrl.depart(ctrl.external_id(victim)).found);
+      continue;
+    }
+    const AdmitDecision d = ctrl.admit(pool.next());
+    if (!d.accepted) continue;
+    ++accepts;
+
+    // (a) fresh re-certification, identical bounds.
+    TaskSet copy = ctrl.taskset();
+    AnalysisSession fresh(copy);
+    const auto analysis = make_analysis(opt.kind);
+    const auto oracle = analysis->prepare(fresh);
+    const auto bounds = chain_eval(*oracle, copy, fresh.priority_order(),
+                                   ctrl.partition());
+    ASSERT_EQ(bounds.size(), ctrl.wcrt().size());
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      ASSERT_TRUE(bounds[i].has_value()) << "task " << i;
+      EXPECT_LE(*bounds[i], copy.task(static_cast<int>(i)).deadline());
+      EXPECT_EQ(*bounds[i], ctrl.wcrt()[i]) << "task " << i;
+    }
+
+    // (b) the simulator must not refute the accept.
+    PartitionOutcome outcome;
+    outcome.schedulable = true;
+    outcome.partition = ctrl.partition();
+    outcome.wcrt = ctrl.wcrt();
+    const SimConfig config = sample_sim_config(sim_opt, copy, sim_rng);
+    const CrossCheckResult check =
+        cross_check_accept(copy, outcome, *protocol, config);
+    EXPECT_FALSE(check.unsound)
+        << "event " << ev << " task " << check.worst_task << " observed "
+        << check.worst_observed << " bound " << check.worst_bound;
+  }
+  EXPECT_GE(accepts, 5);  // the stream actually exercised the ladder
+}
+
+// Replaying the same event stream twice reproduces every decision and
+// counter exactly (the property the server transcript and the online
+// driver's thread-count gate build on).
+TEST(Admission, ReplayIsDeterministic) {
+  const int kNumResources = 4;
+  auto run = [&] {
+    AdmitOptions opt;
+    opt.m = 8;
+    opt.kind = AnalysisKind::kDpcpPEn;
+    opt.repair_evals = 60;
+    AdmissionController ctrl(kNumResources, opt);
+    TaskPool pool(fig2_scenario('b'), kNumResources, 99);
+    std::vector<std::int64_t> trace;
+    Rng stream(5);
+    for (int ev = 0; ev < 25; ++ev) {
+      if (ctrl.resident() > 1 && stream.canonical() < 0.25) {
+        const DepartOutcome out =
+            ctrl.depart(ctrl.external_id(stream.uniform_int(
+                0, ctrl.resident() - 1)));
+        trace.push_back(-1 - out.cost);
+        continue;
+      }
+      const AdmitDecision d = ctrl.admit(pool.next());
+      trace.push_back(d.accepted ? d.cost : -d.cost);
+      trace.push_back(static_cast<std::int64_t>(d.rung));
+    }
+    trace.push_back(ctrl.stats().oracle_calls);
+    trace.push_back(ctrl.stats().tasks_reused);
+    trace.push_back(ctrl.stats().accepted);
+    return trace;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace dpcp

@@ -4,6 +4,7 @@
 
 #include "gen/taskset_gen.hpp"
 #include "io/taskset_io.hpp"
+#include "partition/federated.hpp"
 
 namespace dpcp {
 namespace {
@@ -139,6 +140,59 @@ INSTANTIATE_TEST_SUITE_P(
                  "dpcp-taskset v1\nresources 0\ntask period 10 deadline 20\n"
                  "  vertex 5\nend\n",
                  "invalid task set"}));
+
+TEST(TasksetIo, NestedTaskReportsOpeningLine) {
+  // 'task' on line 5 while the task opened on line 3 is still unterminated:
+  // the diagnostic must point back at the opening line.
+  const std::string text =
+      "dpcp-taskset v1\nresources 0\ntask period 10 deadline 10\n"
+      "  vertex 5\ntask period 20 deadline 20\n  vertex 5\nend\n";
+  std::string error;
+  EXPECT_FALSE(taskset_from_text(text, &error).has_value());
+  EXPECT_NE(error.find("started at line 3"), std::string::npos) << error;
+}
+
+TEST(TasksetIo, MissingEndReportsOpeningLine) {
+  const std::string text =
+      "dpcp-taskset v1\nresources 0\ntask period 10 deadline 10\n"
+      "  vertex 5\n";
+  std::string error;
+  EXPECT_FALSE(taskset_from_text(text, &error).has_value());
+  EXPECT_NE(error.find("line 3"), std::string::npos) << error;
+  EXPECT_NE(error.find("missing 'end'"), std::string::npos) << error;
+}
+
+// Serialize -> parse -> serialize must be byte-identical (not merely
+// semantically equal) on generated workloads from the four Fig. 2
+// scenario corners, for task sets and their baseline partitions alike —
+// the property that makes stored workloads diffable.
+class RoundTripCornerTest : public ::testing::TestWithParam<char> {};
+
+TEST_P(RoundTripCornerTest, SerializeParseSerializeIsByteIdentical) {
+  GenParams params;
+  params.scenario = fig2_scenario(GetParam());
+  params.total_utilization = 0.4 * params.scenario.m;
+  Rng rng(1000u + static_cast<std::uint64_t>(GetParam()));
+  const auto ts = generate_taskset(rng, params);
+  ASSERT_TRUE(ts.has_value());
+
+  const std::string text = taskset_to_text(*ts);
+  std::string error;
+  const auto back = taskset_from_text(text, &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_TRUE(tasksets_equal(*ts, *back));
+  EXPECT_EQ(taskset_to_text(*back), text);
+
+  const auto part = baseline_partition(*back, params.scenario.m);
+  ASSERT_TRUE(part.has_value());
+  const std::string ptext = partition_to_text(*part);
+  const auto pback = partition_from_text(ptext, &error);
+  ASSERT_TRUE(pback.has_value()) << error;
+  EXPECT_EQ(partition_to_text(*pback), ptext);
+}
+
+INSTANTIATE_TEST_SUITE_P(Corners, RoundTripCornerTest,
+                         ::testing::Values('a', 'b', 'c', 'd'));
 
 TEST(TasksetIo, PrioritiesRederivedRateMonotonically) {
   const TaskSet ts = sample_set();

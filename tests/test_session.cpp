@@ -150,6 +150,10 @@ class ScriptedOracle final : public PreparedAnalysis {
     append_cluster(part, task, out);
   }
 
+  void on_taskset_changed(bool /*remap*/) override {
+    calls_.assign(static_cast<std::size_t>(ts_.size()), 0);
+  }
+
  private:
   int needed_;
   std::vector<int> calls_;
