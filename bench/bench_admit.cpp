@@ -13,12 +13,21 @@
 // (oracle calls per arrival — machine-independent, unlike the wall
 // numbers).
 //
+// A second section measures scale-out: the same 200-event stream sharded
+// round-robin across K independent shards (each its own controller and
+// platform) behind a ShardRouter, for K in {1,2,4,8}.  The win is NOT
+// thread parallelism (CI may pin one core) — it is that per-event
+// admission cost grows superlinearly with the resident-set size, so K
+// shards each holding ~1/K of the residents do strictly less total work
+// per event.  events/sec vs K lands in BENCH_sweep.json.
+//
 // Usage: bench_admit [--events N] [--json PATH]
 //        (env: DPCP_SEED; default 200 events, scenario (a) + light mix,
 //        nr=24, DPCP-p-EP, delta rung only)
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -28,6 +37,7 @@
 #include "gen/scenario.hpp"
 #include "gen/taskset_gen.hpp"
 #include "opt/admission.hpp"
+#include "serve/router.hpp"
 #include "util/parse.hpp"
 #include "util/rng.hpp"
 
@@ -92,6 +102,76 @@ double scratch_certify(const AdmissionController& ctrl, AnalysisKind kind,
   const auto analysis = make_analysis(kind);
   analysis->test(session, m);
   return seconds_since(t0);
+}
+
+/// One shard of the scale-out section: an independent controller plus its
+/// event-stream state.  Only the shard's owning router worker touches it.
+struct Shard {
+  Shard(const Scenario& scenario, int nr, const AdmitOptions& options,
+        Rng pool_rng, Rng stream_rng)
+      : ctrl(nr, options), pool(scenario, nr, pool_rng), stream(stream_rng) {}
+  AdmissionController ctrl;
+  TaskPool pool;
+  Rng stream;
+  int arrivals = 0;
+  int accepts = 0;
+};
+
+struct ShardedPoint {
+  int shards = 0;
+  int arrivals = 0;
+  int accepts = 0;
+  double wall_s = 0.0;
+};
+
+/// Replays `events` total events round-robin over `k` shards through a
+/// ShardRouter.  The per-shard churn threshold scales as 1/k: the global
+/// offered load is the same, divided across shards, so shard residency
+/// settles near (total capacity)/k — the scale-out regime.
+ShardedPoint run_sharded(const Scenario& scenario, int nr,
+                         const AdmitOptions& options, std::uint64_t seed,
+                         int events, int k) {
+  const Rng root = Rng(seed).fork(77);
+  std::vector<std::unique_ptr<Shard>> shards;
+  shards.reserve(static_cast<std::size_t>(k));
+  for (int s = 0; s < k; ++s) {
+    AdmitOptions shard_options = options;
+    shard_options.seed =
+        root.fork(3000 + static_cast<std::uint64_t>(s)).raw();
+    shards.push_back(std::make_unique<Shard>(
+        scenario, nr, shard_options,
+        root.fork(1000 + static_cast<std::uint64_t>(s)),
+        root.fork(2000 + static_cast<std::uint64_t>(s))));
+  }
+  const double capacity = 60.0 / k;
+
+  ShardedPoint point;
+  point.shards = k;
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    ShardRouter router(k, k);
+    for (int ev = 0; ev < events; ++ev) {
+      Shard* shard = shards[static_cast<std::size_t>(ev % k)].get();
+      router.post(ev % k, [shard, capacity] {
+        AdmissionController& ctrl = shard->ctrl;
+        const double depart_prob = std::min(
+            0.85, static_cast<double>(ctrl.resident()) / capacity);
+        if (ctrl.resident() > 2 && shard->stream.bernoulli(depart_prob)) {
+          ctrl.depart(ctrl.external_id(ctrl.resident() - 1));
+        } else {
+          ++shard->arrivals;
+          if (ctrl.admit(shard->pool.next()).accepted) ++shard->accepts;
+        }
+      });
+    }
+    router.drain();
+  }
+  point.wall_s = seconds_since(t0);
+  for (const auto& s : shards) {
+    point.arrivals += s->arrivals;
+    point.accepts += s->accepts;
+  }
+  return point;
 }
 
 }  // namespace
@@ -212,6 +292,25 @@ int main(int argc, char** argv) {
       static_cast<long long>(s.oracle_calls),
       static_cast<long long>(s.tasks_reused));
 
+  // Scale-out: the same event volume sharded across K controllers.
+  std::printf("=== Sharded throughput: %d events round-robin over K shards "
+              "===\n",
+              events);
+  std::vector<ShardedPoint> sharded;
+  double base_eps = 0.0;
+  for (int k : {1, 2, 4, 8}) {
+    const ShardedPoint p =
+        run_sharded(scenario, nr, options, seed, events, k);
+    sharded.push_back(p);
+    const double eps =
+        p.wall_s > 0 ? static_cast<double>(events) / p.wall_s : 0.0;
+    if (k == 1) base_eps = eps;
+    std::printf("K=%d  arrivals %d  accepts %d  wall %.1fms  "
+                "events/sec %.0f  speedup_vs_1 %.2fx\n",
+                k, p.arrivals, p.accepts, 1e3 * p.wall_s, eps,
+                base_eps > 0 ? eps / base_eps : 0.0);
+  }
+
   if (!json_path.empty()) {
     std::FILE* f = std::fopen(json_path.c_str(), "w");
     if (!f) {
@@ -232,12 +331,26 @@ int main(int argc, char** argv) {
         " \"cost_p50\": %lld,\n"
         " \"cost_p99\": %lld,\n"
         " \"oracle_calls\": %lld,\n"
-        " \"tasks_reused\": %lld\n"
-        "}\n",
+        " \"tasks_reused\": %lld,\n"
+        " \"sharded\": [\n",
         events, arrivals, accepts, departs, mean_inc_us, mean_scr_us,
         speedup, admissions_per_sec, pct(50), pct(99),
         static_cast<long long>(s.oracle_calls),
         static_cast<long long>(s.tasks_reused));
+    for (std::size_t i = 0; i < sharded.size(); ++i) {
+      const ShardedPoint& p = sharded[i];
+      const double eps =
+          p.wall_s > 0 ? static_cast<double>(events) / p.wall_s : 0.0;
+      std::fprintf(
+          f,
+          "  {\"shards\": %d, \"events\": %d, \"arrivals\": %d, "
+          "\"accepts\": %d, \"wall_ms\": %.3f, \"events_per_sec\": %.1f, "
+          "\"speedup_vs_1\": %.3f}%s\n",
+          p.shards, events, p.arrivals, p.accepts, 1e3 * p.wall_s, eps,
+          base_eps > 0 ? eps / base_eps : 0.0,
+          i + 1 < sharded.size() ? "," : "");
+    }
+    std::fprintf(f, " ]\n}\n");
     std::fclose(f);
   }
   return 0;

@@ -1,10 +1,16 @@
 // dpcp_server: schedulability-as-a-service over stdin/stdout.
 //
 // Reads the line-oriented command protocol of serve/server.hpp (load /
-// admit / depart / query / stats / quit; payload blocks end with a lone
-// '.') and answers deterministically: the same command stream and options
-// always produce the same byte stream, which CI pins with a golden
-// transcript diff.
+// admit / depart / query / stats / slo / snapshot / restore / quit;
+// payload blocks end with a lone '.') and answers deterministically: the
+// same command stream and options always produce the same byte stream,
+// which CI pins with a golden transcript diff.
+//
+// With --shards K the input switches to the multiplexed grammar of
+// serve/router.hpp: every line is `@<session> <line>`, each session is
+// an independent client pinned to shard  session mod K,  and replies
+// come back grouped by session in ascending id order — byte-identical
+// at any --threads value.
 //
 // Environment defaults (overridden by flags): DPCP_M, DPCP_ANALYSIS,
 // DPCP_REPAIR_EVALS, DPCP_RETRY_CAP, DPCP_SEED.  A set-but-garbled knob
@@ -14,6 +20,7 @@
 #include <iostream>
 #include <string>
 
+#include "serve/router.hpp"
 #include "serve/server.hpp"
 #include "util/parse.hpp"
 
@@ -32,24 +39,27 @@ int usage(const char* argv0) {
                "                      disables the repair rung (default 200)\n"
                "  --retry-cap N       retry-queue capacity (default 16)\n"
                "  --seed S            repair-search root seed (default 42)\n"
+               "  --shards K          multiplexed front: '@<session> <line>'\n"
+               "                      input, K admission shards (default:\n"
+               "                      single-session mode)\n"
+               "  --threads T         workers draining the shards (default 1;\n"
+               "                      output is identical for any T)\n"
+               "  --strict            exit 2 at the first 'error' reply\n"
                "  --help              this text\n"
                "\n"
                "commands (one per line on stdin):\n"
                "  load | admit        followed by a 'dpcp-taskset v1' block\n"
                "                      terminated by a lone '.'\n"
-               "  depart <id> | query | stats | quit\n",
+               "  restore             followed by a 'dpcp-snapshot v1' block\n"
+               "                      terminated by a lone '.'\n"
+               "  depart <id> | query | stats | slo <pct> <budget>\n"
+               "  snapshot | quit\n",
                argv0);
   return 2;
 }
 
 bool parse_analysis(const std::string& token, AnalysisKind* out) {
-  if (token == "ep") *out = AnalysisKind::kDpcpPEp;
-  else if (token == "en") *out = AnalysisKind::kDpcpPEn;
-  else if (token == "spin") *out = AnalysisKind::kSpinSon;
-  else if (token == "lpp") *out = AnalysisKind::kLpp;
-  else if (token == "fed") *out = AnalysisKind::kFedFp;
-  else return false;
-  return true;
+  return dpcp::analysis_kind_from_token(token, out);
 }
 
 /// Fatal-on-garbage environment integer, matching sweep_options_from_env.
@@ -70,6 +80,8 @@ std::optional<long long> env_int(const char* name, long long lo,
 
 int main(int argc, char** argv) {
   dpcp::ServeOptions options;
+  int shards = 0;  // 0 = classic single-session mode
+  int threads = 1;
   if (const auto v = env_int("DPCP_M", 1, 4096))
     options.m = static_cast<int>(*v);
   if (const auto v = env_int("DPCP_REPAIR_EVALS", 0, 1 << 24))
@@ -122,6 +134,16 @@ int main(int argc, char** argv) {
       const auto v = dpcp::parse_uint(value());
       if (!v) return usage(argv[0]);
       options.seed = *v;
+    } else if (arg == "--shards") {
+      const auto v = dpcp::parse_int(value(), 1, 4096);
+      if (!v) return usage(argv[0]);
+      shards = static_cast<int>(*v);
+    } else if (arg == "--threads") {
+      const auto v = dpcp::parse_int(value(), 1, 4096);
+      if (!v) return usage(argv[0]);
+      threads = static_cast<int>(*v);
+    } else if (arg == "--strict") {
+      options.strict = true;
     } else if (arg == "--help" || arg == "-h") {
       return usage(argv[0]);
     } else {
@@ -130,5 +152,12 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (shards > 0) {
+    dpcp::MuxOptions mux;
+    mux.serve = options;
+    mux.shards = shards;
+    mux.threads = threads;
+    return dpcp::run_mux_server(std::cin, std::cout, mux);
+  }
   return dpcp::run_server(std::cin, std::cout, options);
 }

@@ -42,6 +42,9 @@ int usage(const char* argv0) {
                "  --retry-cap N       retry-queue capacity (default 16)\n"
                "  --seed S            stream seed (default 42)\n"
                "  --threads N         worker threads (default 1)\n"
+               "  --shards K          route replays through a K-shard\n"
+               "                      ShardRouter; CSV is byte-identical to\n"
+               "                      the unsharded path at any --threads\n"
                "  --validate          simulate every accept; exit 1 on any\n"
                "                      refuted accept\n"
                "  --csv FILE          write the CSV there instead of stdout\n"
@@ -51,13 +54,7 @@ int usage(const char* argv0) {
 }
 
 bool parse_analysis(const std::string& token, AnalysisKind* out) {
-  if (token == "ep") *out = AnalysisKind::kDpcpPEp;
-  else if (token == "en") *out = AnalysisKind::kDpcpPEn;
-  else if (token == "spin") *out = AnalysisKind::kSpinSon;
-  else if (token == "lpp") *out = AnalysisKind::kLpp;
-  else if (token == "fed") *out = AnalysisKind::kFedFp;
-  else return false;
-  return true;
+  return dpcp::analysis_kind_from_token(token, out);
 }
 
 std::optional<long long> env_int(const char* name, long long lo,
@@ -148,6 +145,10 @@ int main(int argc, char** argv) {
       const auto v = dpcp::parse_int(value(), 1, 1024);
       if (!v) return usage(argv[0]);
       options.threads = static_cast<int>(*v);
+    } else if (arg == "--shards") {
+      const auto v = dpcp::parse_int(value(), 1, 1024);
+      if (!v) return usage(argv[0]);
+      options.shards = static_cast<int>(*v);
     } else if (arg == "--validate") {
       options.validate = true;
     } else if (arg == "--csv") {

@@ -104,4 +104,30 @@ std::string analysis_kind_name(AnalysisKind kind) {
   return make_analysis(kind)->name();
 }
 
+const char* analysis_kind_token(AnalysisKind kind) {
+  switch (kind) {
+    case AnalysisKind::kDpcpPEp:
+      return "ep";
+    case AnalysisKind::kDpcpPEn:
+      return "en";
+    case AnalysisKind::kSpinSon:
+      return "spin";
+    case AnalysisKind::kLpp:
+      return "lpp";
+    case AnalysisKind::kFedFp:
+      return "fed";
+  }
+  return "ep";
+}
+
+bool analysis_kind_from_token(const std::string& token, AnalysisKind* out) {
+  for (AnalysisKind kind : all_analysis_kinds()) {
+    if (token == analysis_kind_token(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace dpcp

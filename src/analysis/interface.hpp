@@ -121,4 +121,11 @@ std::vector<AnalysisKind> all_analysis_kinds();
 
 std::string analysis_kind_name(AnalysisKind kind);
 
+/// Short stable token ("ep", "en", "spin", "lpp", "fed") used by command
+/// lines and serialized snapshots; inverse of analysis_kind_from_token().
+const char* analysis_kind_token(AnalysisKind kind);
+/// Parses a token into `*out`; false (and `*out` untouched) on unknown
+/// input.
+bool analysis_kind_from_token(const std::string& token, AnalysisKind* out);
+
 }  // namespace dpcp

@@ -8,6 +8,7 @@
 #include "exp/validate.hpp"
 #include "gen/taskset_gen.hpp"
 #include "opt/admission.hpp"
+#include "serve/router.hpp"
 #include "util/rng.hpp"
 
 namespace dpcp {
@@ -140,6 +141,26 @@ std::vector<OnlineStreamResult> run_online(const OnlineOptions& options) {
   const std::size_t total = options.scenarios.size() *
                             static_cast<std::size_t>(options.streams);
   std::vector<OnlineStreamResult> results(total);
+  if (options.shards > 0) {
+    // Sharded path: each replay is pinned to shard k mod shards and runs
+    // on the shard's owning worker.  Replays are self-contained and land
+    // in their slot by index, so this is output-equivalent to the pool
+    // below at every shard/thread combination.
+    ShardRouter router(options.shards, std::max(1, options.threads));
+    for (std::size_t k = 0; k < total; ++k) {
+      const int scenario = static_cast<int>(
+          k / static_cast<std::size_t>(options.streams));
+      const int stream = static_cast<int>(
+          k % static_cast<std::size_t>(options.streams));
+      router.post(static_cast<int>(k % static_cast<std::size_t>(
+                      options.shards)),
+                  [&options, &results, k, scenario, stream] {
+                    results[k] = run_stream(options, scenario, stream);
+                  });
+    }
+    router.drain();
+    return results;
+  }
   std::atomic<std::size_t> next{0};
   auto worker = [&] {
     for (std::size_t k = next.fetch_add(1); k < total;

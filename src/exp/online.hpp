@@ -43,6 +43,12 @@ struct OnlineOptions {
   std::size_t retry_capacity = 16;
   std::uint64_t seed = 42;
   int threads = 1;
+  /// When > 0, replays are routed through a ShardRouter
+  /// (serve/router.hpp): stream k runs on shard k mod shards, drained by
+  /// `threads` workers.  Results (and the CSV) are byte-identical to the
+  /// unsharded path at any shard/thread combination — the property the
+  /// CMake gate `online_shard_thread_equivalence` pins.
+  int shards = 0;
   /// Simulate every accept under the analysis's protocol.
   bool validate = false;
 };

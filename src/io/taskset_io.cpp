@@ -1,6 +1,8 @@
 #include "io/taskset_io.hpp"
 
 #include <cstdio>
+#include <istream>
+#include <ostream>
 #include <sstream>
 #include <vector>
 
@@ -281,6 +283,28 @@ std::optional<Partition> partition_from_text(const std::string& text,
     }
   }
   return part;
+}
+
+void write_embedded_block(std::ostream& os, const std::string& body,
+                          const std::string& marker) {
+  os << body;
+  if (!body.empty() && body.back() != '\n') os << '\n';
+  os << marker << "\n";
+}
+
+std::optional<std::string> read_embedded_block(std::istream& in,
+                                               const std::string& marker,
+                                               int* line_no,
+                                               std::string* error) {
+  std::string out, line;
+  while (std::getline(in, line)) {
+    if (line_no) ++*line_no;
+    if (line == marker) return out;
+    out.append(line);
+    out.push_back('\n');
+  }
+  set_error(error, "missing '" + marker + "' terminator");
+  return std::nullopt;
 }
 
 bool write_text_file(const std::string& path, const std::string& content,

@@ -43,6 +43,23 @@ std::string partition_to_text(const Partition& part);
 std::optional<Partition> partition_from_text(const std::string& text,
                                              std::string* error = nullptr);
 
+/// Embedded-block framing for composite documents (the controller
+/// snapshot nests taskset and partition blocks inside one stream).  A
+/// block is the body's lines followed by a lone `marker` line; the marker
+/// must not be a directive of the embedded format (the snapshot uses
+/// "end-taskset" / "end-partition", which no v1 block can contain).
+void write_embedded_block(std::ostream& os, const std::string& body,
+                          const std::string& marker);
+
+/// Reads lines from `in` up to (excluding) a lone `marker` line and
+/// returns them newline-joined; `line_no` (optional) is advanced by the
+/// number of lines consumed.  nullopt + error when the stream ends before
+/// the marker.
+std::optional<std::string> read_embedded_block(std::istream& in,
+                                               const std::string& marker,
+                                               int* line_no = nullptr,
+                                               std::string* error = nullptr);
+
 /// File convenience wrappers (thin fopen/fread shims over the above).
 bool write_text_file(const std::string& path, const std::string& content,
                      std::string* error = nullptr);

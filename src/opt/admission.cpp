@@ -1,8 +1,10 @@
 #include "opt/admission.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 #include <utility>
 
+#include "opt/snapshot.hpp"
 #include "partition/federated.hpp"
 #include "util/time.hpp"
 
@@ -31,6 +33,129 @@ AdmissionController::AdmissionController(int num_resources,
       oracle_(analysis_->prepare(session_)),
       part_(options.m, 0, num_resources),
       rng_root_(options.seed) {}
+
+AdmissionController::AdmissionController(const ControllerSnapshot& snap)
+    : options_(snap.options),
+      ts_(snap.taskset),
+      session_(ts_, AllowMutation{}),
+      analysis_(make_analysis(options_.kind, options_.analysis)),
+      oracle_(analysis_->prepare(session_)),
+      part_(snap.partition),
+      ext_ids_(snap.ext_ids),
+      rng_root_(options_.seed),
+      admit_seq_(snap.admit_seq),
+      next_ext_(snap.next_ext),
+      stats_(snap.stats),
+      slo_percentile_(snap.slo_percentile),
+      slo_budget_(snap.slo_budget),
+      cost_hist_(snap.cost_hist) {
+  auto fail = [](const std::string& why) {
+    throw std::invalid_argument("restore: " + why);
+  };
+  if (options_.m < 1) fail("platform size must be >= 1");
+  if (part_.num_processors() != options_.m ||
+      part_.num_tasks() != ts_.size() ||
+      part_.num_resources() != ts_.num_resources())
+    fail("partition shape does not match the task set");
+  if (ext_ids_.size() != static_cast<std::size_t>(ts_.size()))
+    fail("ext-ids arity does not match the task set");
+  std::vector<int> ids = ext_ids_;
+  for (const auto& [id, task] : snap.retry) {
+    if (task.num_resources() != ts_.num_resources())
+      fail("retry task arity does not match");
+    ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  for (std::size_t k = 0; k < ids.size(); ++k) {
+    if (ids[k] >= next_ext_) fail("external id >= next-ext");
+    if (k > 0 && ids[k] == ids[k - 1]) fail("duplicate external id");
+  }
+  if (auto err = part_.validate(ts_))
+    fail("partition invalid: " + *err);
+  for (const auto& [id, task] : snap.retry) {
+    DagTask copy = task;
+    copy.finalize();
+    retry_.push_back(Pending{id, std::move(copy)});
+  }
+  for (std::int64_t v : snap.slo_window) slo_window_.add(v);
+  // The quiesce barrier: the same uncounted full pass snapshot() ran on
+  // the live controller, leaving both sides' oracle-reuse state (and so
+  // every future decision and cost) identical.
+  if (!prime()) fail("resident set no longer certifies on its partition");
+}
+
+ControllerSnapshot AdmissionController::snapshot() {
+  // Quiesce first.  The live resident set was certified on this exact
+  // partition when last admitted, and departures only remove demand, so
+  // the pass cannot fail.
+  if (!prime())
+    throw std::logic_error("snapshot: resident set failed re-certification");
+  ControllerSnapshot snap;
+  snap.options = options_;
+  snap.taskset = ts_;
+  snap.partition = part_;
+  snap.ext_ids = ext_ids_;
+  snap.retry.reserve(retry_.size());
+  for (const Pending& p : retry_) snap.retry.emplace_back(p.id, p.task);
+  snap.next_ext = next_ext_;
+  snap.admit_seq = admit_seq_;
+  snap.stats = stats_;
+  snap.slo_percentile = slo_percentile_;
+  snap.slo_budget = slo_budget_;
+  snap.slo_window = slo_window_.samples_in_order();
+  snap.cost_hist = cost_hist_;
+  return snap;
+}
+
+bool AdmissionController::prime() {
+  const std::size_t n = static_cast<std::size_t>(ts_.size());
+  prev_result_.assign(n, std::nullopt);
+  result_.assign(n, std::nullopt);
+  stable_.assign(n, 0);
+  have_prev_ = false;
+  if (n == 0) {
+    wcrt_.clear();
+    have_prev_ = true;
+    return true;
+  }
+  oracle_->bind(part_);
+  std::vector<Time> hint(n);
+  for (int j = 0; j < ts_.size(); ++j)
+    hint[static_cast<std::size_t>(j)] = ts_.task(j).deadline();
+  bounds_scratch_.assign(n, kTimeInfinity);
+  for (int i : session_.priority_order()) {
+    const std::size_t ui = static_cast<std::size_t>(i);
+    const std::optional<Time> r = oracle_->wcrt(i, hint);
+    result_[ui] = r;
+    if (!r || *r > ts_.task(i).deadline()) return false;
+    hint[ui] = *r;
+    bounds_scratch_[ui] = *r;
+  }
+  prev_result_ = result_;
+  stable_.assign(n, 1);
+  have_prev_ = true;
+  wcrt_ = bounds_scratch_;
+  return true;
+}
+
+void AdmissionController::set_slo(int percentile, std::int64_t budget) {
+  slo_percentile_ = percentile;
+  slo_budget_ = budget;
+}
+
+bool AdmissionController::degraded() const {
+  return slo_percentile_ > 0 && slo_window_.size() > 0 &&
+         slo_window_.percentile(slo_percentile_) > slo_budget_;
+}
+
+std::int64_t AdmissionController::effective_repair_evals() const {
+  return degraded() ? 0 : options_.repair_evals;
+}
+
+void AdmissionController::note_cost(std::int64_t cost) {
+  cost_hist_.add(cost);
+  slo_window_.add(cost);
+}
 
 int AdmissionController::index_of(int external_id) const {
   for (std::size_t i = 0; i < ext_ids_.size(); ++i)
@@ -210,8 +335,14 @@ AdmitDecision AdmissionController::admit_with_id(int external_id,
   // the deadline feasible, so reject outright and never queue.
   if (task.longest_path_length() >= task.deadline()) {
     ++stats_.rejected;
+    note_cost(0);
     return d;
   }
+
+  // SLO degradation: while the rolling cost percentile is over budget,
+  // this admission runs without the (expensive) repair rung.
+  const std::int64_t repair_budget = effective_repair_evals();
+  if (repair_budget < options_.repair_evals) ++stats_.degraded_admits;
 
   DagTask retry_copy = task;  // survives in the queue if every rung fails
   const Partition snapshot = part_;
@@ -254,12 +385,12 @@ AdmitDecision AdmissionController::admit_with_id(int external_id,
 
   // Rung 3 — budgeted Move-search repair seeded from the failed attempts
   // (or, when no rung could even form a cluster, from stolen processors).
-  if (!accepted && options_.repair_evals > 0) {
+  if (!accepted && repair_budget > 0) {
     if (seeds.empty() && part_.cluster_size(idx) == 0 && steal_cluster(idx))
       seeds.push_back(part_);
     if (!seeds.empty()) {
       OptOptions opt_options;
-      opt_options.max_evals = options_.repair_evals;
+      opt_options.max_evals = repair_budget;
       PartitionOptimizer search(ts_, options_.m, *oracle_,
                                 session_.priority_order(),
                                 rng_root_.fork(admit_seq_), opt_options);
@@ -295,11 +426,13 @@ AdmitDecision AdmissionController::admit_with_id(int external_id,
     retry_.push_back(Pending{external_id, std::move(retry_copy)});
     d.queued = true;
     if (retry_.size() > options_.retry_capacity) {
+      d.evicted_id = retry_.front().id;
       retry_.pop_front();
       ++stats_.retry_evictions;
     }
   }
   d.cost = stats_.oracle_calls - calls_before;
+  note_cost(d.cost);
   return d;
 }
 

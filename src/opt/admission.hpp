@@ -43,8 +43,11 @@
 #include "partition/partition.hpp"
 #include "partition/placement.hpp"
 #include "util/rng.hpp"
+#include "util/stats.hpp"
 
 namespace dpcp {
+
+struct ControllerSnapshot;  // opt/snapshot.hpp
 
 /// Knobs of one controller instance.
 struct AdmitOptions {
@@ -81,6 +84,10 @@ struct AdmitDecision {
   std::int64_t cost = 0;
   /// Rejected and parked in the retry queue.
   bool queued = false;
+  /// External id evicted from the retry queue to make room for this one
+  /// (-1 when nothing was evicted).  Surfaced so the server can notify the
+  /// session that owned the evicted task instead of dropping it silently.
+  int evicted_id = -1;
 };
 
 /// Outcome of one departure.
@@ -107,6 +114,9 @@ struct AdmissionStats {
   std::int64_t retry_evictions = 0;
   std::int64_t oracle_calls = 0;
   std::int64_t tasks_reused = 0;  // per-task re-analyses skipped
+  /// Admissions attempted with the repair rung disabled because the
+  /// rolling cost percentile exceeded the configured SLO budget.
+  std::int64_t degraded_admits = 0;
 };
 
 class AdmissionController {
@@ -114,6 +124,22 @@ class AdmissionController {
   /// An empty workload over `num_resources` shared resources on
   /// `options.m` processors.  All admitted tasks must use this arity.
   AdmissionController(int num_resources, const AdmitOptions& options);
+
+  /// Rebuilds a controller from a snapshot() capture.  Re-certifies the
+  /// restored partition with a full (uncounted) analysis pass, leaving the
+  /// oracle-reuse state in the same canonical form snapshot() left the
+  /// live controller in — so every subsequent decision, including its
+  /// count-based cost, is bit-for-bit what the original would have made.
+  /// Throws std::invalid_argument when the snapshot is inconsistent or no
+  /// longer certifies.
+  explicit AdmissionController(const ControllerSnapshot& snap);
+
+  /// Captures the full controller state for failover.  Quiesces first:
+  /// runs one uncounted full evaluation of the incumbent partition so the
+  /// path-dependent oracle-reuse state collapses to a canonical form the
+  /// restore constructor reproduces.  Deterministic: same history -> same
+  /// snapshot text.
+  ControllerSnapshot snapshot();
 
   /// Tries to admit `task` (escalating delta placement -> strategy
   /// re-placement -> budgeted repair); on rejection the task parks in the
@@ -145,6 +171,18 @@ class AdmissionController {
   /// The long-lived prepared oracle (diff/reuse telemetry for benches).
   const PreparedAnalysis& oracle() const { return *oracle_; }
 
+  // --- SLO layer ----------------------------------------------------------
+  /// Degrade when the rolling `percentile`-th per-event cost exceeds
+  /// `budget` oracle calls: the repair rung's budget drops to 0 until the
+  /// window recovers.  percentile in [1,100]; 0 disables (the default).
+  void set_slo(int percentile, std::int64_t budget);
+  int slo_percentile() const { return slo_percentile_; }
+  std::int64_t slo_budget() const { return slo_budget_; }
+  /// True when the next admission would run with the repair rung disabled.
+  bool degraded() const;
+  /// Lifetime per-event admission costs (oracle calls), for p50/p99/max.
+  const IntHistogram& cost_histogram() const { return cost_hist_; }
+
  private:
   struct Pending {
     int id;
@@ -152,6 +190,17 @@ class AdmissionController {
   };
 
   AdmitDecision admit_with_id(int external_id, DagTask task);
+  /// Records one event's cost into the SLO window and lifetime histogram.
+  void note_cost(std::int64_t cost);
+  /// Repair budget for the next admission: options_.repair_evals, or 0
+  /// while the SLO window is over budget.
+  std::int64_t effective_repair_evals() const;
+  /// The quiesce barrier shared by snapshot() and the restore
+  /// constructor: one uncounted full evaluation of part_, after which
+  /// prev_result_/stable_/have_prev_/wcrt_ are a pure function of
+  /// (ts_, part_).  False when some task no longer certifies (only
+  /// possible on a corrupted snapshot — live state always certifies).
+  bool prime();
   /// Scores `part` for the whole resident set with the optimizer's
   /// cross-evaluation reuse rule; fills bounds_scratch_.
   bool evaluate(const Partition& part);
@@ -180,6 +229,15 @@ class AdmissionController {
   std::uint64_t admit_seq_ = 0;
   int next_ext_ = 0;
   AdmissionStats stats_;
+
+  // SLO state: rolling window feeding the degradation decision plus a
+  // lifetime histogram for reporting.  Both are count-based, so they are
+  // deterministic and snapshot cleanly.
+  static constexpr std::size_t kSloWindow = 64;
+  int slo_percentile_ = 0;  // 0 = SLO disabled
+  std::int64_t slo_budget_ = 0;
+  RollingQuantile slo_window_{kSloWindow};
+  IntHistogram cost_hist_;
 
   // Cross-event oracle-result reuse (the optimizer's evaluate() rule): a
   // task keeps its previous bound when the oracle certifies its inputs

@@ -1,0 +1,349 @@
+#include "opt/snapshot.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "analysis/interface.hpp"
+#include "io/taskset_io.hpp"
+#include "partition/placement.hpp"
+
+namespace dpcp {
+namespace {
+
+constexpr const char* kTasksetMarker = "end-taskset";
+constexpr const char* kPartitionMarker = "end-partition";
+
+void set_error(std::string* error, const std::string& message) {
+  if (error) *error = message;
+}
+
+bool parse_i64(const std::string& tok, std::int64_t* out) {
+  char* end = nullptr;
+  const long long v = std::strtoll(tok.c_str(), &end, 10);
+  if (end == tok.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool parse_u64(const std::string& tok, std::uint64_t* out) {
+  if (tok.empty() || tok[0] == '-') return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+  if (end == tok.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool parse_int32(const std::string& tok, int* out) {
+  std::int64_t v;
+  if (!parse_i64(tok, &v) || v < INT32_MIN || v > INT32_MAX) return false;
+  *out = static_cast<int>(v);
+  return true;
+}
+
+/// Strict line/token cursor over the snapshot text.  Unlike the taskset
+/// reader this one keeps every line verbatim (no comment stripping): a
+/// snapshot is machine-written, and the embedded blocks must round-trip
+/// byte-for-byte.
+class Cursor {
+ public:
+  explicit Cursor(const std::string& text) : input_(text) {}
+
+  bool next() {
+    std::string raw;
+    if (!std::getline(input_, raw)) return false;
+    ++line_no_;
+    tokens_.clear();
+    std::istringstream ls(raw);
+    std::string tok;
+    while (ls >> tok) tokens_.push_back(tok);
+    return true;
+  }
+
+  const std::vector<std::string>& tokens() const { return tokens_; }
+  std::istringstream& stream() { return input_; }
+  int* line_no() { return &line_no_; }
+
+  std::string err(const std::string& what) const {
+    return "line " + std::to_string(line_no_) + ": " + what;
+  }
+
+ private:
+  std::istringstream input_;
+  std::vector<std::string> tokens_;
+  int line_no_ = 0;
+};
+
+const char* const kStatKeys[] = {
+    "submitted", "accepted",  "rejected",     "departed",
+    "delta",     "replace",   "repair",       "readmits",
+    "evictions", "degraded",  "oracle-calls", "reused"};
+
+std::vector<std::int64_t*> stat_slots(AdmissionStats& s) {
+  return {&s.submitted,       &s.accepted,        &s.rejected,
+          &s.departed,        &s.delta_accepts,   &s.replace_accepts,
+          &s.repair_accepts,  &s.readmits,        &s.retry_evictions,
+          &s.degraded_admits, &s.oracle_calls,    &s.tasks_reused};
+}
+
+std::vector<const std::int64_t*> stat_slots(const AdmissionStats& s) {
+  return {&s.submitted,       &s.accepted,        &s.rejected,
+          &s.departed,        &s.delta_accepts,   &s.replace_accepts,
+          &s.repair_accepts,  &s.readmits,        &s.retry_evictions,
+          &s.degraded_admits, &s.oracle_calls,    &s.tasks_reused};
+}
+
+/// Serializes one task as a single-task taskset block (arity `nr`), so
+/// retry-queue entries reuse the taskset reader wholesale.
+std::string task_block(const DagTask& task, int nr) {
+  TaskSet one(nr);
+  one.adopt_task(task);
+  return taskset_to_text(one);
+}
+
+}  // namespace
+
+std::string snapshot_to_text(const ControllerSnapshot& snap) {
+  std::ostringstream os;
+  const AdmitOptions& o = snap.options;
+  os << "dpcp-snapshot v1\n";
+  os << "m " << o.m << "\n";
+  os << "analysis " << analysis_kind_token(o.kind) << "\n";
+  os << "max-paths " << o.analysis.max_paths << "\n";
+  os << "max-signatures " << o.analysis.max_signatures << "\n";
+  os << "placements";
+  for (PlacementKind kind : o.placements)
+    os << ' ' << placement_kind_token(kind);
+  os << "\n";
+  os << "repair-evals " << o.repair_evals << "\n";
+  os << "retry-cap " << o.retry_capacity << "\n";
+  os << "seed " << o.seed << "\n";
+  os << "readmit-on-depart " << (o.readmit_on_depart ? 1 : 0) << "\n";
+  os << "next-ext " << snap.next_ext << "\n";
+  os << "admit-seq " << snap.admit_seq << "\n";
+  os << "slo " << snap.slo_percentile << ' ' << snap.slo_budget << "\n";
+  os << "slo-window";
+  for (std::int64_t v : snap.slo_window) os << ' ' << v;
+  os << "\n";
+  os << "cost-hist";
+  for (const auto& [value, count] : snap.cost_hist.cells())
+    os << ' ' << value << ':' << count;
+  os << "\n";
+  os << "stats";
+  {
+    const auto slots = stat_slots(snap.stats);
+    for (std::size_t k = 0; k < slots.size(); ++k)
+      os << ' ' << kStatKeys[k] << ' ' << *slots[k];
+  }
+  os << "\n";
+  os << "ext-ids";
+  for (int id : snap.ext_ids) os << ' ' << id;
+  os << "\n";
+  os << "taskset\n";
+  write_embedded_block(os, taskset_to_text(snap.taskset), kTasksetMarker);
+  os << "partition\n";
+  write_embedded_block(os, partition_to_text(snap.partition),
+                       kPartitionMarker);
+  os << "retry " << snap.retry.size() << "\n";
+  for (const auto& [id, task] : snap.retry) {
+    os << "pending " << id << "\n";
+    write_embedded_block(os, task_block(task, snap.taskset.num_resources()),
+                         kTasksetMarker);
+  }
+  os << "end-snapshot\n";
+  return os.str();
+}
+
+std::optional<ControllerSnapshot> snapshot_from_text(const std::string& text,
+                                                     std::string* error) {
+  Cursor in(text);
+  ControllerSnapshot snap;
+
+  // Every scalar line is `key <tokens...>` in the fixed order written by
+  // snapshot_to_text; `key` alone is legal where the list may be empty.
+  auto expect = [&](const char* key, std::size_t min_tokens) {
+    if (!in.next() || in.tokens().empty() || in.tokens()[0] != key ||
+        in.tokens().size() < 1 + min_tokens) {
+      set_error(error, in.err(std::string("expected '") + key + " ...'"));
+      return false;
+    }
+    return true;
+  };
+
+  if (!in.next() ||
+      in.tokens() != std::vector<std::string>{"dpcp-snapshot", "v1"}) {
+    set_error(error, in.err("expected header 'dpcp-snapshot v1'"));
+    return std::nullopt;
+  }
+
+  AdmitOptions& o = snap.options;
+  if (!expect("m", 1) || !parse_int32(in.tokens()[1], &o.m) || o.m < 1) {
+    set_error(error, in.err("bad 'm'"));
+    return std::nullopt;
+  }
+  if (!expect("analysis", 1) ||
+      !analysis_kind_from_token(in.tokens()[1], &o.kind)) {
+    set_error(error, in.err("bad 'analysis'"));
+    return std::nullopt;
+  }
+  if (!expect("max-paths", 1) ||
+      !parse_i64(in.tokens()[1], &o.analysis.max_paths)) {
+    set_error(error, in.err("bad 'max-paths'"));
+    return std::nullopt;
+  }
+  if (!expect("max-signatures", 1) ||
+      !parse_i64(in.tokens()[1], &o.analysis.max_signatures)) {
+    set_error(error, in.err("bad 'max-signatures'"));
+    return std::nullopt;
+  }
+  if (!expect("placements", 0)) return std::nullopt;
+  o.placements.clear();
+  for (std::size_t k = 1; k < in.tokens().size(); ++k) {
+    const auto kind = placement_kind_from_token(in.tokens()[k]);
+    if (!kind) {
+      set_error(error, in.err("unknown placement '" + in.tokens()[k] + "'"));
+      return std::nullopt;
+    }
+    o.placements.push_back(*kind);
+  }
+  if (!expect("repair-evals", 1) ||
+      !parse_i64(in.tokens()[1], &o.repair_evals) || o.repair_evals < 0) {
+    set_error(error, in.err("bad 'repair-evals'"));
+    return std::nullopt;
+  }
+  std::uint64_t cap = 0;
+  if (!expect("retry-cap", 1) || !parse_u64(in.tokens()[1], &cap)) {
+    set_error(error, in.err("bad 'retry-cap'"));
+    return std::nullopt;
+  }
+  o.retry_capacity = static_cast<std::size_t>(cap);
+  if (!expect("seed", 1) || !parse_u64(in.tokens()[1], &o.seed)) {
+    set_error(error, in.err("bad 'seed'"));
+    return std::nullopt;
+  }
+  int readmit = 0;
+  if (!expect("readmit-on-depart", 1) ||
+      !parse_int32(in.tokens()[1], &readmit) || readmit < 0 || readmit > 1) {
+    set_error(error, in.err("bad 'readmit-on-depart'"));
+    return std::nullopt;
+  }
+  o.readmit_on_depart = readmit == 1;
+  if (!expect("next-ext", 1) ||
+      !parse_int32(in.tokens()[1], &snap.next_ext) || snap.next_ext < 0) {
+    set_error(error, in.err("bad 'next-ext'"));
+    return std::nullopt;
+  }
+  if (!expect("admit-seq", 1) || !parse_u64(in.tokens()[1], &snap.admit_seq)) {
+    set_error(error, in.err("bad 'admit-seq'"));
+    return std::nullopt;
+  }
+  if (!expect("slo", 2) || !parse_int32(in.tokens()[1], &snap.slo_percentile) ||
+      snap.slo_percentile < 0 || snap.slo_percentile > 100 ||
+      !parse_i64(in.tokens()[2], &snap.slo_budget) || snap.slo_budget < 0) {
+    set_error(error, in.err("bad 'slo <percentile> <budget>'"));
+    return std::nullopt;
+  }
+  if (!expect("slo-window", 0)) return std::nullopt;
+  for (std::size_t k = 1; k < in.tokens().size(); ++k) {
+    std::int64_t v = 0;
+    if (!parse_i64(in.tokens()[k], &v) || v < 0) {
+      set_error(error, in.err("bad slo-window sample"));
+      return std::nullopt;
+    }
+    snap.slo_window.push_back(v);
+  }
+  if (!expect("cost-hist", 0)) return std::nullopt;
+  for (std::size_t k = 1; k < in.tokens().size(); ++k) {
+    const auto colon = in.tokens()[k].find(':');
+    std::int64_t value = 0, count = 0;
+    if (colon == std::string::npos ||
+        !parse_i64(in.tokens()[k].substr(0, colon), &value) ||
+        !parse_i64(in.tokens()[k].substr(colon + 1), &count) || count <= 0) {
+      set_error(error, in.err("bad cost-hist cell '" + in.tokens()[k] + "'"));
+      return std::nullopt;
+    }
+    snap.cost_hist.add(value, count);
+  }
+  if (!expect("stats", 24)) return std::nullopt;
+  {
+    const auto slots = stat_slots(snap.stats);
+    if (in.tokens().size() != 1 + 2 * slots.size()) {
+      set_error(error, in.err("bad 'stats' arity"));
+      return std::nullopt;
+    }
+    for (std::size_t k = 0; k < slots.size(); ++k) {
+      if (in.tokens()[1 + 2 * k] != kStatKeys[k] ||
+          !parse_i64(in.tokens()[2 + 2 * k], slots[k]) || *slots[k] < 0) {
+        set_error(error,
+                  in.err(std::string("bad stats field '") + kStatKeys[k] + "'"));
+        return std::nullopt;
+      }
+    }
+  }
+  if (!expect("ext-ids", 0)) return std::nullopt;
+  for (std::size_t k = 1; k < in.tokens().size(); ++k) {
+    int id = 0;
+    if (!parse_int32(in.tokens()[k], &id) || id < 0) {
+      set_error(error, in.err("bad ext-id"));
+      return std::nullopt;
+    }
+    snap.ext_ids.push_back(id);
+  }
+
+  if (!expect("taskset", 0)) return std::nullopt;
+  auto ts_text = read_embedded_block(in.stream(), kTasksetMarker,
+                                     in.line_no(), error);
+  if (!ts_text) return std::nullopt;
+  std::string sub_error;
+  auto ts = taskset_from_text(*ts_text, &sub_error);
+  if (!ts) {
+    set_error(error, "taskset block: " + sub_error);
+    return std::nullopt;
+  }
+  snap.taskset = std::move(*ts);
+
+  if (!expect("partition", 0)) return std::nullopt;
+  auto part_text = read_embedded_block(in.stream(), kPartitionMarker,
+                                       in.line_no(), error);
+  if (!part_text) return std::nullopt;
+  auto part = partition_from_text(*part_text, &sub_error);
+  if (!part) {
+    set_error(error, "partition block: " + sub_error);
+    return std::nullopt;
+  }
+  snap.partition = std::move(*part);
+
+  std::int64_t retry_count = 0;
+  if (!expect("retry", 1) || !parse_i64(in.tokens()[1], &retry_count) ||
+      retry_count < 0) {
+    set_error(error, in.err("bad 'retry <count>'"));
+    return std::nullopt;
+  }
+  for (std::int64_t k = 0; k < retry_count; ++k) {
+    int id = 0;
+    if (!expect("pending", 1) || !parse_int32(in.tokens()[1], &id) || id < 0) {
+      set_error(error, in.err("bad 'pending <id>'"));
+      return std::nullopt;
+    }
+    auto block = read_embedded_block(in.stream(), kTasksetMarker,
+                                     in.line_no(), error);
+    if (!block) return std::nullopt;
+    auto one = taskset_from_text(*block, &sub_error);
+    if (!one || one->size() != 1 ||
+        one->num_resources() != snap.taskset.num_resources()) {
+      set_error(error, "pending block for id " + std::to_string(id) + ": " +
+                           (one ? "expected one task of matching arity"
+                                : sub_error));
+      return std::nullopt;
+    }
+    snap.retry.emplace_back(id, one->task(0));
+  }
+
+  if (!in.next() || in.tokens() != std::vector<std::string>{"end-snapshot"}) {
+    set_error(error, in.err("expected 'end-snapshot'"));
+    return std::nullopt;
+  }
+  return snap;
+}
+
+}  // namespace dpcp

@@ -1,0 +1,95 @@
+// Controller snapshot: the full state of one AdmissionController shard,
+// serializable as line-oriented text for failover.
+//
+// A snapshot is taken *quiesced*: snapshot() first runs one uncounted
+// full evaluation of the incumbent partition, collapsing the oracle's
+// path-dependent diff/reuse state to a canonical form that is a pure
+// function of (resident set, partition).  The restore constructor runs
+// the same pass, so a rebuilt shard makes every subsequent decision —
+// including its count-based cost — bit-for-bit as the original would
+// have.  The CMake gate `snapshot_restore_replay` pins this.
+//
+// Text format (fixed key order; nested taskset/partition blocks use the
+// io/taskset_io embedded-block framing, terminated by "end-taskset" /
+// "end-partition" — lines no v1 block can contain):
+//
+//   dpcp-snapshot v1
+//   m 4
+//   analysis ep
+//   max-paths 200000
+//   max-signatures 4096
+//   placements wfd bfd
+//   repair-evals 200
+//   retry-cap 16
+//   seed 42
+//   readmit-on-depart 1
+//   next-ext 7
+//   admit-seq 12
+//   slo 99 40
+//   slo-window 18 22 9
+//   cost-hist 9:1 18:1 22:1
+//   stats submitted 7 accepted 5 ...
+//   ext-ids 0 2 5
+//   taskset
+//   dpcp-taskset v1
+//   ...
+//   end-taskset
+//   partition
+//   dpcp-partition v1
+//   ...
+//   end-partition
+//   retry 1
+//   pending 6
+//   dpcp-taskset v1        # single-task block, same arity
+//   ...
+//   end-taskset
+//   end-snapshot
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "model/taskset.hpp"
+#include "opt/admission.hpp"
+#include "partition/partition.hpp"
+#include "util/stats.hpp"
+
+namespace dpcp {
+
+/// Everything needed to rebuild an AdmissionController elsewhere.
+/// Produced by AdmissionController::snapshot(); consumed by the restore
+/// constructor and by snapshot_to_text()/snapshot_from_text().
+struct ControllerSnapshot {
+  AdmitOptions options;
+  /// Resident tasks in index order (priorities are re-derived
+  /// Rate-Monotonically on restore; the live controller maintains the
+  /// same (period, id) order incrementally, so nothing is lost).
+  TaskSet taskset{0};
+  Partition partition;
+  /// External id of each resident index.
+  std::vector<int> ext_ids;
+  /// Retry queue front-to-back: (external id, task).
+  std::vector<std::pair<int, DagTask>> retry;
+  int next_ext = 0;
+  std::uint64_t admit_seq = 0;
+  AdmissionStats stats;
+  int slo_percentile = 0;  // 0 = SLO disabled
+  std::int64_t slo_budget = 0;
+  /// SLO window contents oldest-first.
+  std::vector<std::int64_t> slo_window;
+  IntHistogram cost_hist;
+};
+
+std::string snapshot_to_text(const ControllerSnapshot& snap);
+
+/// Parses a snapshot; nullopt + line-numbered `error` on the first
+/// problem.  Structural consistency (partition matches the task set,
+/// unique ids, the set still certifies) is checked by the restore
+/// constructor, not here.
+std::optional<ControllerSnapshot> snapshot_from_text(
+    const std::string& text, std::string* error = nullptr);
+
+}  // namespace dpcp

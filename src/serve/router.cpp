@@ -1,0 +1,140 @@
+#include "serve/router.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "util/parse.hpp"
+
+namespace dpcp {
+
+ShardRouter::ShardRouter(int shards, int threads)
+    : shards_(std::max(1, shards)) {
+  const int n = std::max(1, std::min(threads, shards_));
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int w = 0; w < n; ++w) workers_.push_back(std::make_unique<Worker>());
+  threads_.reserve(static_cast<std::size_t>(n));
+  for (int w = 0; w < n; ++w)
+    threads_.emplace_back([this, w] { worker_loop(*workers_[w]); });
+}
+
+ShardRouter::~ShardRouter() {
+  for (auto& w : workers_) {
+    std::lock_guard<std::mutex> lock(w->mu);
+    w->stop = true;
+    w->cv.notify_all();
+  }
+  for (std::thread& t : threads_) t.join();
+}
+
+void ShardRouter::post(int shard, std::function<void()> fn) {
+  Worker& w = *workers_[static_cast<std::size_t>(shard) % workers_.size()];
+  {
+    std::lock_guard<std::mutex> lock(done_mu_);
+    ++outstanding_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(w.mu);
+    w.queue.push_back(std::move(fn));
+  }
+  w.cv.notify_one();
+}
+
+void ShardRouter::drain() {
+  std::unique_lock<std::mutex> lock(done_mu_);
+  done_cv_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+void ShardRouter::worker_loop(Worker& w) {
+  for (;;) {
+    std::function<void()> fn;
+    {
+      std::unique_lock<std::mutex> lock(w.mu);
+      w.cv.wait(lock, [&w] { return w.stop || !w.queue.empty(); });
+      if (w.queue.empty()) return;  // stop, and nothing left to run
+      fn = std::move(w.queue.front());
+      w.queue.pop_front();
+    }
+    fn();
+    {
+      std::lock_guard<std::mutex> lock(done_mu_);
+      if (--outstanding_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+namespace {
+
+/// One multiplexed client: a CommandSession writing into a private
+/// buffer, pinned to shard `id mod shards`.  Only the owning worker
+/// touches `session`/`buffer` (all access happens inside posted tasks),
+/// so no locks are needed beyond the router's queues.
+struct MuxSession {
+  explicit MuxSession(const ServeOptions& serve) : session(buffer, serve) {}
+  std::ostringstream buffer;
+  CommandSession session;
+};
+
+}  // namespace
+
+int run_mux_server(std::istream& in, std::ostream& out,
+                   const MuxOptions& options) {
+  std::map<int, std::unique_ptr<MuxSession>> sessions;  // id -> session
+  bool mux_error = false;
+  {
+    ShardRouter router(options.shards, options.threads);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      std::size_t space = line.find(' ');
+      if (space == std::string::npos) space = line.size();
+      int sid = -1;
+      if (line[0] == '@') {
+        const auto v = parse_int(line.substr(1, space - 1), 0, INT32_MAX);
+        if (v) sid = static_cast<int>(*v);
+      }
+      if (sid < 0) {
+        // Mux-layer framing errors are not any session's output; they are
+        // emitted immediately, which — since session replies only appear
+        // after the final drain — puts them deterministically first.
+        out << "error expected '@<session> <line>', got '" << line << "'\n";
+        mux_error = true;
+        if (options.serve.strict) break;
+        continue;
+      }
+      auto it = sessions.find(sid);
+      if (it == sessions.end())
+        it = sessions
+                 .emplace(sid, std::make_unique<MuxSession>(options.serve))
+                 .first;
+      MuxSession* s = it->second.get();
+      // The payload tail: everything after "@<sid> ", which may be empty
+      // (a blank payload line) — payload blocks go through verbatim.
+      std::string rest =
+          space < line.size() ? line.substr(space + 1) : std::string();
+      router.post(sid % router.shards(),
+                  [s, rest = std::move(rest)] { s->session.feed(rest); });
+    }
+    for (auto& [sid, s] : sessions) {
+      MuxSession* raw = s.get();
+      router.post(sid % router.shards(), [raw] { raw->session.finish(); });
+    }
+    router.drain();
+  }  // workers joined; every buffer is complete and quiescent
+
+  bool session_error = false;
+  for (const auto& [sid, s] : sessions) {
+    session_error = session_error || s->session.saw_error();
+    std::istringstream lines(s->buffer.str());
+    std::string reply;
+    while (std::getline(lines, reply))
+      out << '@' << sid << ' ' << reply << "\n";
+  }
+  out.flush();
+  return options.serve.strict && (mux_error || session_error) ? 2 : 0;
+}
+
+}  // namespace dpcp

@@ -1,8 +1,7 @@
 // Schedulability as a service: a line-oriented command front over the
 // online AdmissionController (opt/admission.hpp).
 //
-// The server reads commands from an input stream and answers on an
-// output stream, one self-contained session per run_server() call:
+// The protocol is one self-contained session of commands and replies:
 //
 //   load                       # create a workload; payload follows
 //   <dpcp-taskset v1 block>    # io/taskset_io text, raw lines
@@ -12,23 +11,41 @@
 //   .
 //   depart 3                   # remove task with external id 3
 //   query                      # resident table with certified bounds
-//   stats                      # lifetime counters
+//   stats                      # lifetime counters (+ cost percentiles
+//                              # once an SLO is set)
+//   slo 99 40                  # degrade repair when rolling p99 cost > 40
+//   snapshot                   # serialize the controller (payload reply)
+//   restore                    # rebuild from a snapshot; payload follows
 //   quit
 //
-// Every reply line starts with `admit`, `task`, `gone`, `ok <cmd>` or
-// `error`; a command's reply always ends with exactly one `ok`/`error`
+// Every reply line starts with `admit`, `evict`, `task`, `gone`, `cost`,
+// `snapshot begin` (followed by payload lines and a lone `.`), `ok <cmd>`
+// or `error`; a command's reply always ends with exactly one `ok`/`error`
 // line, so clients (and the golden-transcript test) can frame responses
 // without timing.  Output is a pure function of the input stream and the
 // options — no clocks, no ambient randomness — which is what lets CI
 // diff a live session against a committed transcript byte for byte.
+//
+// Two fronts consume the same session logic:
+//   * run_server(): one session over one stream pair (the classic
+//     single-client mode);
+//   * CommandSession: a push-based core (feed one line at a time) that
+//     the sharded multi-client front (serve/router.hpp) drives, one
+//     instance per client session, each bound to its own shard.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "analysis/interface.hpp"
 
 namespace dpcp {
+
+class AdmissionController;
+struct AdmitDecision;
 
 /// Server-lifetime knobs (everything else arrives via commands).
 struct ServeOptions {
@@ -43,10 +60,73 @@ struct ServeOptions {
   std::size_t retry_capacity = 16;
   /// Root seed of the repair search streams.
   std::uint64_t seed = 42;
+  /// Stop at the first `error` reply and make the run exit 2 (CI gates
+  /// validate bad input this way; interactive sessions keep the default
+  /// in-band error replies).
+  bool strict = false;
 };
 
-/// Runs one command session to EOF or `quit`.  Returns 0 always: protocol
-/// errors are in-band `error` replies, not process failures.
+/// The push-based session core: feed input lines one at a time; replies
+/// are written to the bound output stream as they complete.  Payload
+/// framing (the lone-dot blocks after load/admit/restore) is a state
+/// machine across feed() calls, so a session can be multiplexed with
+/// others line by line — the sharded front does exactly that.
+class CommandSession {
+ public:
+  CommandSession(std::ostream& out, const ServeOptions& options);
+  ~CommandSession();
+  CommandSession(const CommandSession&) = delete;
+  CommandSession& operator=(const CommandSession&) = delete;
+
+  /// Processes one input line (without its trailing newline).
+  void feed(const std::string& line);
+  /// Signals end of input: an open payload block is a framing error
+  /// (`error unterminated payload (expected '.')`).
+  void finish();
+
+  /// True once `quit` was processed or finish() was called; further
+  /// feed() calls are ignored.
+  bool done() const { return done_; }
+  /// True once any `error` reply has been emitted.
+  bool saw_error() const { return saw_error_; }
+
+ private:
+  enum class Payload {
+    kNone,
+    kLoad,
+    kAdmit,
+    /// `admit` before any `load`: the announced payload is still consumed
+    /// (the stream must stay framed) and then answered with an error —
+    /// unless the stream ends first, which is the framing error instead.
+    kAdmitUnloaded,
+    kRestore,
+  };
+
+  void dispatch(const std::vector<std::string>& cmd);
+  void finish_payload();
+  void emit_decision(const AdmitDecision& d);
+  int admit_all(const TaskSet& ts);
+  void do_load(const std::string& block);
+  void do_admit(const std::string& block);
+  void do_restore(const std::string& block);
+  void do_depart(const std::vector<std::string>& cmd);
+  void do_query(const std::vector<std::string>& cmd);
+  void do_stats(const std::vector<std::string>& cmd);
+  void do_slo(const std::vector<std::string>& cmd);
+  void do_snapshot(const std::vector<std::string>& cmd);
+  void error(const std::string& message);
+
+  std::ostream& out_;
+  const ServeOptions options_;
+  std::unique_ptr<AdmissionController> ctrl_;
+  Payload payload_state_ = Payload::kNone;
+  std::string payload_;
+  bool done_ = false;
+  bool saw_error_ = false;
+};
+
+/// Runs one command session over the stream pair to EOF or `quit`.
+/// Returns 0, or 2 when options.strict and an `error` reply was emitted.
 int run_server(std::istream& in, std::ostream& out,
                const ServeOptions& options);
 

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <map>
 #include <vector>
 
 namespace dpcp {
@@ -38,6 +39,102 @@ class RunningStat {
   double m2_ = 0.0;
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Exact integer histogram with nearest-rank percentiles.
+///
+/// Everything is integer counts — adding the same samples in any order
+/// (or merging per-shard histograms) produces the same cells and the same
+/// percentiles, which is what lets the admission service report
+/// count-based latency SLO numbers that are bit-identical on any machine
+/// and at any thread count.  Cells are ordered, so serializing them (the
+/// controller snapshot does) is deterministic too.
+class IntHistogram {
+ public:
+  void add(std::int64_t value, std::int64_t count = 1) {
+    assert(count > 0);
+    cells_[value] += count;
+    total_ += count;
+  }
+  void merge(const IntHistogram& o) {
+    for (const auto& [v, c] : o.cells_) cells_[v] += c;
+    total_ += o.total_;
+  }
+
+  std::int64_t count() const { return total_; }
+  std::int64_t min() const { return total_ ? cells_.begin()->first : 0; }
+  std::int64_t max() const { return total_ ? cells_.rbegin()->first : 0; }
+
+  /// Nearest-rank percentile: the smallest recorded value whose cumulative
+  /// count reaches ceil(pct/100 * total).  0 on an empty histogram.
+  std::int64_t percentile(int pct) const {
+    assert(pct >= 1 && pct <= 100);
+    if (!total_) return 0;
+    const std::int64_t rank =
+        (total_ * pct + 99) / 100;  // ceil, in integer arithmetic
+    std::int64_t seen = 0;
+    for (const auto& [v, c] : cells_) {
+      seen += c;
+      if (seen >= rank) return v;
+    }
+    return cells_.rbegin()->first;
+  }
+
+  /// Value -> count, ordered by value (deterministic iteration).
+  const std::map<std::int64_t, std::int64_t>& cells() const { return cells_; }
+
+ private:
+  std::map<std::int64_t, std::int64_t> cells_;
+  std::int64_t total_ = 0;
+};
+
+/// Nearest-rank percentile over the last `capacity` samples — the rolling
+/// window the admission SLO layer degrades on.  Count-based and exactly
+/// reproducible: the window contents (insertion order) serialize into the
+/// controller snapshot so a restored shard degrades at the same events.
+class RollingQuantile {
+ public:
+  explicit RollingQuantile(std::size_t capacity) : capacity_(capacity) {
+    assert(capacity > 0);
+  }
+
+  void add(std::int64_t v) {
+    if (window_.size() < capacity_) {
+      window_.push_back(v);
+    } else {
+      window_[next_] = v;
+      next_ = (next_ + 1) % capacity_;
+    }
+  }
+
+  std::size_t size() const { return window_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  std::int64_t percentile(int pct) const {
+    assert(pct >= 1 && pct <= 100);
+    if (window_.empty()) return 0;
+    std::vector<std::int64_t> sorted = window_;
+    const std::size_t rank =
+        (window_.size() * static_cast<std::size_t>(pct) + 99) / 100;
+    std::nth_element(sorted.begin(), sorted.begin() + (rank - 1),
+                     sorted.end());
+    return sorted[rank - 1];
+  }
+
+  /// Window contents oldest-first (the snapshot serialization order).
+  std::vector<std::int64_t> samples_in_order() const {
+    std::vector<std::int64_t> out;
+    out.reserve(window_.size());
+    if (window_.size() < capacity_) return window_;
+    for (std::size_t k = 0; k < window_.size(); ++k)
+      out.push_back(window_[(next_ + k) % window_.size()]);
+    return out;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::vector<std::int64_t> window_;
+  std::size_t next_ = 0;  // overwrite cursor once the window is full
 };
 
 /// Accepted / total counter for schedulability experiments.

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <sstream>
 #include <stdexcept>
 #include <optional>
 #include <vector>
@@ -18,7 +19,10 @@
 #include "gen/scenario.hpp"
 #include "gen/taskset_gen.hpp"
 #include "opt/admission.hpp"
+#include "opt/snapshot.hpp"
 #include "partition/federated.hpp"
+#include "serve/router.hpp"
+#include "serve/server.hpp"
 #include "util/rng.hpp"
 
 namespace dpcp {
@@ -349,6 +353,398 @@ TEST(Admission, ReplayIsDeterministic) {
     return trace;
   };
   EXPECT_EQ(run(), run());
+}
+
+// ---------- retry-queue eviction surfacing ---------------------------------
+
+TEST(Admission, EvictionSurfacesTheEvictedId) {
+  AdmitOptions opt;
+  opt.m = 1;
+  opt.kind = AnalysisKind::kFedFp;
+  opt.retry_capacity = 1;
+  AdmissionController ctrl(0, opt);
+
+  // Nothing needing two processors fits on m=1: the first arrival queues
+  // without evicting, the second queues and pushes the first out.
+  const AdmitDecision a = ctrl.admit(heavy_task(2, 0));
+  EXPECT_TRUE(a.queued);
+  EXPECT_EQ(a.evicted_id, -1);
+  const AdmitDecision b = ctrl.admit(heavy_task(2, 0));
+  EXPECT_TRUE(b.queued);
+  EXPECT_EQ(b.evicted_id, 0);
+  EXPECT_EQ(ctrl.retry_queue_size(), 1u);
+  EXPECT_EQ(ctrl.stats().retry_evictions, 1);
+  EXPECT_FALSE(ctrl.depart(0).found);  // the evicted task is really gone
+}
+
+// ---------- SLO layer ------------------------------------------------------
+
+TEST(Admission, SloDegradationDisablesRepairDeterministically) {
+  const int kNumResources = 4;
+  auto run = [&](bool slo) {
+    AdmitOptions opt;
+    opt.m = 8;
+    opt.kind = AnalysisKind::kDpcpPEn;
+    opt.repair_evals = 60;
+    AdmissionController ctrl(kNumResources, opt);
+    if (slo) ctrl.set_slo(50, 0);  // rolling median > 0 calls => degrade
+    TaskPool pool(fig2_scenario('b'), kNumResources, 99);
+    std::vector<std::int64_t> trace;
+    Rng stream(5);
+    for (int ev = 0; ev < 25; ++ev) {
+      if (ctrl.resident() > 1 && stream.canonical() < 0.25) {
+        ctrl.depart(ctrl.external_id(static_cast<int>(
+            stream.uniform_int(0, ctrl.resident() - 1))));
+        continue;
+      }
+      const AdmitDecision d = ctrl.admit(pool.next());
+      trace.push_back(d.accepted ? d.cost : -d.cost);
+    }
+    trace.push_back(ctrl.stats().degraded_admits);
+    trace.push_back(ctrl.stats().oracle_calls);
+    EXPECT_EQ(ctrl.cost_histogram().count() > 0, true);
+    return trace;
+  };
+  // Deterministic either way.
+  EXPECT_EQ(run(false), run(false));
+  EXPECT_EQ(run(true), run(true));
+  // With a zero budget every post-warmup admission runs degraded.
+  const auto degraded = run(true);
+  EXPECT_GT(degraded[degraded.size() - 2], 0);
+  // Without an SLO nothing degrades.
+  const auto normal = run(false);
+  EXPECT_EQ(normal[normal.size() - 2], 0);
+}
+
+// ---------- snapshot / restore ---------------------------------------------
+
+// At every fig2 scenario corner: replay a stream, snapshot mid-way,
+// round-trip the snapshot through text, restore, then drive the original
+// and the restored controller through the same scripted continuation —
+// every decision field, the certified bounds, and the lifetime counters
+// must match bit-for-bit (the failover contract of docs/architecture.md).
+class SnapshotCornerTest : public ::testing::TestWithParam<char> {};
+
+TEST_P(SnapshotCornerTest, RestoreReplaysBitForBit) {
+  const Scenario scenario = fig2_scenario(GetParam());
+  const int kNumResources = 4;
+  AdmitOptions opt;
+  opt.m = scenario.m;
+  opt.kind = AnalysisKind::kDpcpPEp;
+  opt.repair_evals = 40;
+  opt.retry_capacity = 4;
+  opt.seed = 7;
+  AdmissionController original(kNumResources, opt);
+  TaskPool pool(scenario, kNumResources, 4242);
+
+  // Phase 1: warm the controller (arrivals, departures, maybe a queue).
+  Rng stream(11);
+  for (int ev = 0; ev < 14; ++ev) {
+    if (original.resident() > 2 && stream.canonical() < 0.3) {
+      original.depart(original.external_id(static_cast<int>(
+          stream.uniform_int(0, original.resident() - 1))));
+    } else {
+      original.admit(pool.next());
+    }
+  }
+  original.set_slo(99, 2000);
+
+  // Snapshot -> text -> parse -> restore.  The text round-trip is exact.
+  const ControllerSnapshot snap = original.snapshot();
+  const std::string text = snapshot_to_text(snap);
+  std::string error;
+  const auto parsed = snapshot_from_text(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(snapshot_to_text(*parsed), text);
+  AdmissionController restored(*parsed);
+
+  ASSERT_EQ(restored.resident(), original.resident());
+  EXPECT_EQ(restored.retry_queue_size(), original.retry_queue_size());
+  EXPECT_EQ(restored.wcrt(), original.wcrt());
+
+  // Phase 2: identical scripted continuation on both sides.
+  std::vector<DagTask> arrivals;
+  for (int k = 0; k < 10; ++k) arrivals.push_back(pool.next());
+  auto drive = [&](AdmissionController& ctrl) {
+    std::vector<std::int64_t> trace;
+    std::size_t next_arrival = 0;
+    for (int ev = 0; ev < 14; ++ev) {
+      if (ev % 3 == 2 && ctrl.resident() > 1) {
+        // Newest-resident departure: both sides share the same state, so
+        // the scripted victim is the same external id on both.
+        const DepartOutcome out =
+            ctrl.depart(ctrl.external_id(ctrl.resident() - 1));
+        trace.push_back(-1000 - out.cost);
+        trace.push_back(static_cast<std::int64_t>(out.readmitted.size()));
+        continue;
+      }
+      if (next_arrival >= arrivals.size()) break;
+      const AdmitDecision d = ctrl.admit(arrivals[next_arrival++]);
+      trace.push_back(d.id);
+      trace.push_back(d.accepted ? 1 : 0);
+      trace.push_back(static_cast<std::int64_t>(d.rung));
+      trace.push_back(d.cost);
+      trace.push_back(d.queued ? 1 : 0);
+      trace.push_back(d.evicted_id);
+    }
+    const AdmissionStats& s = ctrl.stats();
+    for (std::int64_t v :
+         {s.submitted, s.accepted, s.rejected, s.departed, s.delta_accepts,
+          s.replace_accepts, s.repair_accepts, s.readmits,
+          s.retry_evictions, s.degraded_admits, s.oracle_calls,
+          s.tasks_reused})
+      trace.push_back(v);
+    return trace;
+  };
+  EXPECT_EQ(drive(original), drive(restored));
+  EXPECT_EQ(original.wcrt(), restored.wcrt());
+}
+
+INSTANTIATE_TEST_SUITE_P(Corners, SnapshotCornerTest,
+                         ::testing::Values('a', 'b', 'c', 'd'));
+
+TEST(Snapshot, RejectsInconsistentState) {
+  AdmitOptions opt;
+  opt.m = 4;
+  opt.kind = AnalysisKind::kFedFp;
+  AdmissionController ctrl(0, opt);
+  ASSERT_TRUE(ctrl.admit(heavy_task(2, 0)).accepted);
+  ControllerSnapshot snap = ctrl.snapshot();
+
+  {
+    ControllerSnapshot bad = snap;
+    bad.ext_ids.clear();  // arity mismatch with the resident set
+    EXPECT_THROW(AdmissionController{bad}, std::invalid_argument);
+  }
+  {
+    ControllerSnapshot bad = snap;
+    bad.next_ext = 0;  // resident id 0 >= next_ext
+    EXPECT_THROW(AdmissionController{bad}, std::invalid_argument);
+  }
+  {
+    ControllerSnapshot bad = snap;
+    bad.options.m = 2;  // partition no longer matches the platform
+    EXPECT_THROW(AdmissionController{bad}, std::invalid_argument);
+  }
+}
+
+TEST(Snapshot, TextParserRejectsTruncation) {
+  AdmitOptions opt;
+  opt.m = 4;
+  opt.kind = AnalysisKind::kFedFp;
+  AdmissionController ctrl(0, opt);
+  ASSERT_TRUE(ctrl.admit(heavy_task(1, 0)).accepted);
+  const std::string text = snapshot_to_text(ctrl.snapshot());
+  // Chopping anywhere must fail cleanly, never crash or half-parse.
+  for (std::size_t cut : {std::size_t{0}, text.size() / 4, text.size() / 2,
+                          text.size() - 2}) {
+    std::string error;
+    EXPECT_FALSE(snapshot_from_text(text.substr(0, cut), &error).has_value())
+        << "cut at " << cut;
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+// ---------- server protocol fixes ------------------------------------------
+
+std::string serve(const std::string& input, const ServeOptions& options) {
+  std::istringstream in(input);
+  std::ostringstream out;
+  run_server(in, out, options);
+  return out.str();
+}
+
+const char* kTinyWorkload =
+    "load\n"
+    "dpcp-taskset v1\n"
+    "resources 0\n"
+    "task period 10 deadline 10\n"
+    "  vertex 1\n"
+    "end\n"
+    ".\n";
+
+TEST(Server, DepartAcceptsFullInt32RangeAndRejectsOverflow) {
+  ServeOptions options;
+  options.m = 2;
+  options.kind = AnalysisKind::kFedFp;
+  // INT32_MIN parses as an id (strict util/parse, not the old
+  // negate-after-accumulate loop that overflowed on it) and is then
+  // simply unknown.
+  const std::string out = serve(
+      std::string(kTinyWorkload) + "depart -2147483648\nquit\n", options);
+  EXPECT_NE(out.find("error unknown id -2147483648\n"), std::string::npos)
+      << out;
+  // One past INT32_MAX is not an id at all.
+  const std::string over =
+      serve(std::string(kTinyWorkload) + "depart 2147483648\nquit\n",
+            options);
+  EXPECT_NE(over.find("error usage: depart <id>\n"), std::string::npos)
+      << over;
+}
+
+TEST(Server, UnterminatedAdmitPayloadBeforeLoadIsAFramingError) {
+  ServeOptions options;
+  options.kind = AnalysisKind::kFedFp;
+  // EOF inside the announced payload block: the framing error wins (the
+  // old server read the block, ignored that it was unterminated, and
+  // answered 'no workload loaded').
+  const std::string out = serve("admit\ndpcp-taskset v1\n", options);
+  EXPECT_NE(out.find("error unterminated payload (expected '.')\n"),
+            std::string::npos)
+      << out;
+  EXPECT_EQ(out.find("no workload loaded"), std::string::npos) << out;
+  // A terminated block before any load still gets the workload error.
+  const std::string loaded = serve("admit\nanything\n.\nquit\n", options);
+  EXPECT_NE(loaded.find("error no workload loaded (use 'load')\n"),
+            std::string::npos)
+      << loaded;
+}
+
+TEST(Server, EvictionIsNotifiedInline) {
+  ServeOptions options;
+  options.m = 1;
+  options.kind = AnalysisKind::kFedFp;
+  options.retry_capacity = 1;
+  // heavy_task(2, 0) as taskset text: nothing needing 2 processors fits
+  // on m=1, so both arrivals queue and the second evicts the first.
+  const char* heavy =
+      "dpcp-taskset v1\n"
+      "resources 0\n"
+      "task period 100 deadline 100\n"
+      "  vertex 10\n"
+      "  vertex 45\n"
+      "  vertex 45\n"
+      "  vertex 45\n"
+      "  edge 0 1\n"
+      "  edge 0 2\n"
+      "  edge 0 3\n"
+      "end\n"
+      ".\n";
+  const std::string out = serve(
+      "load\ndpcp-taskset v1\nresources 0\n.\n"  // empty workload
+      "admit\n" + std::string(heavy) + "admit\n" + std::string(heavy) +
+          "stats\nquit\n",
+      options);
+  EXPECT_NE(out.find("admit id=1 rejected rung=- calls=0 queued=1\n"
+                     "evict id=0\n"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("evictions=1"), std::string::npos) << out;
+}
+
+TEST(Server, SnapshotRestoreRoundTripsOverTheWire) {
+  ServeOptions options;
+  options.m = 2;
+  options.kind = AnalysisKind::kFedFp;
+  const std::string out =
+      serve(std::string(kTinyWorkload) + "snapshot\nquit\n", options);
+  const auto begin = out.find("snapshot begin\n");
+  ASSERT_NE(begin, std::string::npos) << out;
+  const auto payload_start = begin + std::string("snapshot begin\n").size();
+  const auto end = out.find("\n.\n", payload_start);
+  ASSERT_NE(end, std::string::npos) << out;
+  const std::string payload =
+      out.substr(payload_start, end + 1 - payload_start);
+
+  const std::string restored =
+      serve("restore\n" + payload + ".\nquery\nquit\n", options);
+  EXPECT_NE(restored.find("ok restore resident=1 retry=0\n"),
+            std::string::npos)
+      << restored;
+  EXPECT_NE(restored.find("task id=0 period=10 deadline=10"),
+            std::string::npos)
+      << restored;
+
+  // Garbage payloads and strict mode: in-band error, exit 2.
+  ServeOptions strict = options;
+  strict.strict = true;
+  std::istringstream bad_in("restore\nnot a snapshot\n.\nquit\n");
+  std::ostringstream bad_out;
+  EXPECT_EQ(run_server(bad_in, bad_out, strict), 2);
+  EXPECT_NE(bad_out.str().find("error parse:"), std::string::npos)
+      << bad_out.str();
+}
+
+TEST(Server, SloCommandValidatesAndReportsCostLine) {
+  ServeOptions options;
+  options.m = 2;
+  options.kind = AnalysisKind::kFedFp;
+  const std::string out = serve(
+      std::string(kTinyWorkload) + "slo 99 10\nstats\nquit\n", options);
+  EXPECT_NE(out.find("ok slo percentile=99 budget=10\n"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("cost p50="), std::string::npos) << out;
+
+  // Without an SLO the stats reply keeps its original single line.
+  const std::string plain =
+      serve(std::string(kTinyWorkload) + "stats\nquit\n", options);
+  EXPECT_EQ(plain.find("cost p50="), std::string::npos) << plain;
+
+  ServeOptions strict = options;
+  strict.strict = true;
+  std::istringstream bad_in("slo 101 5\nquit\n");
+  std::ostringstream bad_out;
+  EXPECT_EQ(run_server(bad_in, bad_out, strict), 2);
+}
+
+// ---------- shard router ---------------------------------------------------
+
+TEST(Router, PerShardFifoAtAnyThreadCount) {
+  for (int threads : {1, 3, 8}) {
+    ShardRouter router(4, threads);
+    std::vector<std::vector<int>> seen(4);
+    for (int i = 0; i < 200; ++i) {
+      const int shard = i % 4;
+      // Only the owning worker touches seen[shard]: no lock needed.
+      router.post(shard, [&seen, shard, i] { seen[shard].push_back(i); });
+    }
+    router.drain();
+    for (int shard = 0; shard < 4; ++shard) {
+      ASSERT_EQ(seen[shard].size(), 50u) << "threads " << threads;
+      for (int k = 0; k < 50; ++k)
+        ASSERT_EQ(seen[shard][static_cast<std::size_t>(k)], 4 * k + shard)
+            << "threads " << threads;
+    }
+  }
+}
+
+TEST(Router, MuxOutputIsIdenticalAcrossShardAndThreadCounts) {
+  const std::string input =
+      "@3 load\n"
+      "@3 dpcp-taskset v1\n"
+      "@0 load\n"
+      "@3 resources 0\n"
+      "@0 dpcp-taskset v1\n"
+      "@3 task period 20 deadline 20\n"
+      "@0 resources 0\n"
+      "@3   vertex 2\n"
+      "@0 task period 10 deadline 10\n"
+      "@3 end\n"
+      "@0   vertex 1\n"
+      "@0 end\n"
+      "@3 .\n"
+      "@0 .\n"
+      "@0 query\n"
+      "@3 stats\n"
+      "@3 quit\n";
+  auto run = [&](int shards, int threads) {
+    MuxOptions options;
+    options.serve.m = 2;
+    options.serve.kind = AnalysisKind::kFedFp;
+    options.shards = shards;
+    options.threads = threads;
+    std::istringstream in(input);
+    std::ostringstream out;
+    EXPECT_EQ(run_mux_server(in, out, options), 0);
+    return out.str();
+  };
+  const std::string reference = run(1, 1);
+  EXPECT_NE(reference.find("@0 ok load"), std::string::npos) << reference;
+  EXPECT_NE(reference.find("@3 ok quit"), std::string::npos) << reference;
+  for (int shards : {2, 4, 8})
+    for (int threads : {1, 4, 8})
+      EXPECT_EQ(run(shards, threads), reference)
+          << "shards " << shards << " threads " << threads;
 }
 
 }  // namespace
