@@ -53,6 +53,10 @@ int usage(const char* argv0) {
                "  restore             followed by a 'dpcp-snapshot v1' block\n"
                "                      terminated by a lone '.'\n"
                "  depart <id> | query | stats | slo <pct> <budget>\n"
+               "  metrics [json]      controller metrics registry, Prometheus\n"
+               "                      text (or one JSON line)\n"
+               "  trace [n]           most recent admission decision records\n"
+               "                      (default: the whole ring)\n"
                "  snapshot | quit\n",
                argv0);
   return 2;

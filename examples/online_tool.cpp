@@ -48,6 +48,11 @@ int usage(const char* argv0) {
                "  --validate          simulate every accept; exit 1 on any\n"
                "                      refuted accept\n"
                "  --csv FILE          write the CSV there instead of stdout\n"
+               "  --metrics-json FILE write the merged controller metrics\n"
+               "                      (obs/metrics.hpp registry + analysis\n"
+               "                      cache counters) as one JSON line;\n"
+               "                      byte-identical at any --threads/\n"
+               "                      --shards combination\n"
                "  --help              this text\n",
                argv0);
   return 2;
@@ -76,6 +81,7 @@ int main(int argc, char** argv) {
   dpcp::OnlineOptions options;
   std::string scenario_spec = "a";
   std::string csv_path;
+  std::string metrics_path;
   if (const auto v = env_int("DPCP_THREADS", 1, 1024))
     options.threads = static_cast<int>(*v);
   if (const char* s = std::getenv("DPCP_SEED"); s && *s != '\0') {
@@ -153,6 +159,8 @@ int main(int argc, char** argv) {
       options.validate = true;
     } else if (arg == "--csv") {
       csv_path = value();
+    } else if (arg == "--metrics-json") {
+      metrics_path = value();
     } else if (arg == "--help" || arg == "-h") {
       return usage(argv[0]);
     } else {
@@ -181,6 +189,16 @@ int main(int argc, char** argv) {
       return 1;
     }
     dpcp::write_online_csv(results, options, out);
+  }
+
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open '%s' for writing\n",
+                   metrics_path.c_str());
+      return 1;
+    }
+    out << dpcp::merge_online_metrics(results).to_json() << "\n";
   }
 
   int unsound = 0;

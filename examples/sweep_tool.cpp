@@ -26,7 +26,10 @@
 #include <string>
 #include <vector>
 
+#include <fstream>
+
 #include "core/dpcp.hpp"
+#include "obs/chrome_trace.hpp"
 #include "util/parse.hpp"
 
 using namespace dpcp;
@@ -80,6 +83,12 @@ int usage(const char* argv0) {
       "                    next-event jumps or the legacy dense per-quantum\n"
       "                    walk; results are identical, only speed differs\n"
       "                    (default: event)\n"
+      "  --sim-trace-out PATH  export one simulated task set (first\n"
+      "                    scenario, first utilization point, first\n"
+      "                    generable sample, DPCP-p on the baseline\n"
+      "                    partition) as Chrome trace-event JSON --\n"
+      "                    loadable in Perfetto / chrome://tracing;\n"
+      "                    deterministic for a given seed\n"
       "  --csv PATH        write long-format CSV\n"
       "  --json PATH       write JSON\n"
       "  --curves          print per-scenario acceptance tables\n"
@@ -126,13 +135,57 @@ bool parse_doubles(const std::string& list, std::vector<double>* out) {
   return !out->empty();
 }
 
+/// Exports one simulated task set as Chrome trace-event JSON: the first
+/// scenario's first utilization point, at the first sample index that
+/// both generates and admits a baseline partition, executed under DPCP-p
+/// with trace recording on.  Seeding mirrors the sweep engine
+/// (Rng(scenario_seed(seed, 0)).fork(sample)), so the exported trace is
+/// a pure function of --seed and the sim knobs.
+bool export_sim_trace(const std::string& path, const Scenario& scenario,
+                      const SweepOptions& options, std::string* error) {
+  const double utilization = options.norm_utilizations.empty()
+                                 ? utilization_grid(scenario).front()
+                                 : options.norm_utilizations.front() *
+                                       scenario.m;
+  constexpr int kMaxSampleProbes = 64;
+  for (int sample = 0; sample < kMaxSampleProbes; ++sample) {
+    GenParams params;
+    params.scenario = scenario;
+    params.total_utilization = utilization;
+    params.light_tasks = options.light_tasks;
+    Rng rng = Rng(scenario_seed(options.seed, 0))
+                  .fork(static_cast<std::uint64_t>(sample));
+    const auto ts = generate_taskset(rng, params);
+    if (!ts) continue;
+    const auto part = baseline_partition(*ts, scenario.m);
+    if (!part) continue;
+    Rng sim_rng = rng.fork(7);
+    SimConfig cfg = sample_sim_config(options.sim, *ts, sim_rng);
+    cfg.protocol = SimProtocol::kDpcpP;
+    cfg.record_trace = true;
+    Simulator sim(*ts, *part, cfg);
+    sim.run();
+    std::ofstream out(path);
+    if (!out) {
+      *error = "cannot open '" + path + "' for writing";
+      return false;
+    }
+    out << chrome_trace_json(sim.trace());
+    return true;
+  }
+  *error = "no generable+partitionable sample in the first " +
+           std::to_string(kMaxSampleProbes) + " probes of scenario " +
+           scenario.name();
+  return false;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string scenario_spec = "fig2";
   std::string analysis_list = "paper";
   SweepOptions options = sweep_options_from_env(/*default_samples=*/100);
-  std::string csv_path, json_path;
+  std::string csv_path, json_path, sim_trace_path;
   bool want_curves = false, want_tables = false, quiet = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -228,6 +281,7 @@ int main(int argc, char** argv) {
       }
       options.sim.backend = *backend;
     }
+    else if (arg == "--sim-trace-out") sim_trace_path = value();
     else if (arg == "--csv") csv_path = value();
     else if (arg == "--json") json_path = value();
     else if (arg == "--curves") want_curves = true;
@@ -324,6 +378,14 @@ int main(int argc, char** argv) {
       return 1;
     }
     if (!quiet) std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+  }
+  if (!sim_trace_path.empty()) {
+    if (!export_sim_trace(sim_trace_path, scenarios->front(), options,
+                          &error)) {
+      std::fprintf(stderr, "sim-trace: %s\n", error.c_str());
+      return 1;
+    }
+    if (!quiet) std::fprintf(stderr, "wrote %s\n", sim_trace_path.c_str());
   }
 
   if (result.validated && !result.validation.sound()) {

@@ -132,6 +132,8 @@ OnlineStreamResult run_stream(const OnlineOptions& options, int scenario_idx,
   r.cost_max = costs.empty() ? 0 : costs.back();
   r.oracle_calls = ctrl.stats().oracle_calls;
   r.tasks_reused = ctrl.stats().tasks_reused;
+  r.metrics = ctrl.metrics();
+  fold_cache_stats(ctrl.cache_stats(), r.metrics);
   return r;
 }
 
@@ -181,6 +183,17 @@ std::vector<OnlineStreamResult> run_online(const OnlineOptions& options) {
     for (auto& th : pool) th.join();
   }
   return results;
+}
+
+MetricsRegistry merge_online_metrics(
+    const std::vector<OnlineStreamResult>& results) {
+  MetricsRegistry merged;
+  for (const OnlineStreamResult& r : results) merged.merge(r.metrics);
+  // Counter merging summed the per-stream 0/1 build-flavor flags; restore
+  // the gauge meaning (the flavor is a process-wide property).
+  merged.set(merged.counter("dpcp_analysis_instrumented"),
+             CacheStats::enabled() ? 1 : 0);
+  return merged;
 }
 
 void write_online_csv(const std::vector<OnlineStreamResult>& results,

@@ -23,6 +23,7 @@
 
 #include "analysis/interface.hpp"
 #include "gen/scenario.hpp"
+#include "obs/metrics.hpp"
 
 namespace dpcp {
 
@@ -73,6 +74,10 @@ struct OnlineStreamResult {
   std::int64_t tasks_reused = 0;
   /// Accepts the simulator refuted (validate mode only; must be 0).
   int unsound = 0;
+  /// The stream's controller metrics (obs/metrics.hpp) with the analysis
+  /// cache counters folded in — merge_online_metrics() aggregates these
+  /// across streams for the --metrics-json report.
+  MetricsRegistry metrics;
 };
 
 /// Replays every (scenario, stream) pair (data-parallel over
@@ -82,5 +87,12 @@ std::vector<OnlineStreamResult> run_online(const OnlineOptions& options);
 /// Writes the CSV report (header + one row per stream, in order).
 void write_online_csv(const std::vector<OnlineStreamResult>& results,
                       const OnlineOptions& options, std::ostream& out);
+
+/// Merges every stream's registry in (scenario, stream) order — the order
+/// results are already in — so the aggregate is byte-identical at any
+/// --threads/--shards combination.  The instrumented flag is re-set to
+/// 0/1 after the merge (counter merging sums it per stream otherwise).
+MetricsRegistry merge_online_metrics(
+    const std::vector<OnlineStreamResult>& results);
 
 }  // namespace dpcp

@@ -1,0 +1,213 @@
+#include "obs/chrome_trace.hpp"
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace dpcp {
+namespace {
+
+/// Trace-event timestamps are microseconds; ours are int64 nanoseconds.
+/// Render "<us>.<ns-fraction:03d>" in integer arithmetic — sub-us
+/// precision survives and the text never depends on float formatting.
+std::string micros_text(Time ns) {
+  const Time us = ns / 1000;
+  const Time frac = ns % 1000;
+  std::string out = std::to_string(us);
+  out.push_back('.');
+  out.push_back(static_cast<char>('0' + frac / 100));
+  out.push_back(static_cast<char>('0' + (frac / 10) % 10));
+  out.push_back(static_cast<char>('0' + frac % 10));
+  return out;
+}
+
+constexpr int kProcessorsPid = 0;
+constexpr int kTasksPid = 1;
+
+struct OpenSpan {
+  Time start = 0;
+  std::string name;
+  const char* cat = "vertex";
+  int task = -1;
+  std::int64_t job = -1;
+  int vertex = -1;
+  int resource = -1;
+};
+
+std::string span_args(const OpenSpan& s) {
+  std::ostringstream os;
+  os << "{\"task\":" << s.task << ",\"job\":" << s.job
+     << ",\"vertex\":" << s.vertex << ",\"resource\":" << s.resource << "}";
+  return os.str();
+}
+
+class Writer {
+ public:
+  void metadata(int pid, const std::string& process_name) {
+    events_.push_back("{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" +
+                      std::to_string(pid) +
+                      ",\"args\":{\"name\":\"" + process_name + "\"}}");
+  }
+  void thread(int pid, int tid, const std::string& thread_name) {
+    events_.push_back("{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" +
+                      std::to_string(pid) + ",\"tid\":" + std::to_string(tid) +
+                      ",\"args\":{\"name\":\"" + thread_name + "\"}}");
+  }
+  void complete(int tid, const OpenSpan& s, Time end) {
+    events_.push_back(
+        "{\"ph\":\"X\",\"name\":\"" + s.name + "\",\"cat\":" + "\"" + s.cat +
+        "\",\"ts\":" + micros_text(s.start) +
+        ",\"dur\":" + micros_text(end - s.start) +
+        ",\"pid\":" + std::to_string(kProcessorsPid) +
+        ",\"tid\":" + std::to_string(tid) + ",\"args\":" + span_args(s) + "}");
+  }
+  void instant(int pid, int tid, Time t, const std::string& name,
+               const char* cat, const std::string& args) {
+    events_.push_back("{\"ph\":\"i\",\"s\":\"t\",\"name\":\"" + name +
+                      "\",\"cat\":\"" + std::string(cat) +
+                      "\",\"ts\":" + micros_text(t) +
+                      ",\"pid\":" + std::to_string(pid) +
+                      ",\"tid\":" + std::to_string(tid) +
+                      ",\"args\":" + args + "}");
+  }
+
+  std::string finish() const {
+    std::ostringstream os;
+    os << "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
+    for (std::size_t k = 0; k < events_.size(); ++k)
+      os << events_[k] << (k + 1 < events_.size() ? ",\n" : "\n");
+    os << "]\n}\n";
+    return os.str();
+  }
+
+ private:
+  std::vector<std::string> events_;
+};
+
+std::string req_args(const TraceEvent& e) {
+  std::ostringstream os;
+  os << "{\"task\":" << e.task << ",\"job\":" << e.job
+     << ",\"vertex\":" << e.vertex << ",\"resource\":" << e.resource << "}";
+  return os.str();
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const std::vector<TraceEvent>& trace) {
+  Writer w;
+
+  // Pre-scan: which processor / task tracks exist.
+  std::set<int> used_procs, used_tasks;
+  for (const TraceEvent& e : trace) {
+    if (e.processor >= 0) used_procs.insert(e.processor);
+    if (e.task >= 0 && (e.kind == TraceKind::kJobRelease ||
+                        e.kind == TraceKind::kJobComplete))
+      used_tasks.insert(e.task);
+  }
+  w.metadata(kProcessorsPid, "processors");
+  for (int p : used_procs)
+    w.thread(kProcessorsPid, p, "cpu " + std::to_string(p));
+  if (!used_tasks.empty()) w.metadata(kTasksPid, "tasks");
+  for (int t : used_tasks) w.thread(kTasksPid, t, "task " + std::to_string(t));
+
+  std::map<int, OpenSpan> open;  // processor -> in-flight span
+  // Local-lock ownership replay, for hold-vs-spin classification.
+  std::map<int, std::pair<std::int64_t, int>> lock_owner;  // res -> (job, v)
+  Time last_time = 0;
+
+  const auto close_span = [&](int proc, Time end) {
+    const auto it = open.find(proc);
+    if (it == open.end()) return;
+    w.complete(proc, it->second, end);
+    open.erase(it);
+  };
+
+  for (const TraceEvent& e : trace) {
+    last_time = e.time;
+    switch (e.kind) {
+      case TraceKind::kVertexDispatch: {
+        close_span(e.processor, e.time);  // in-place spin-to-hold handoff
+        OpenSpan s;
+        s.start = e.time;
+        s.task = e.task;
+        s.job = e.job;
+        s.vertex = e.vertex;
+        s.resource = e.resource;
+        std::string base =
+            "T" + std::to_string(e.task) + " v" + std::to_string(e.vertex);
+        if (e.resource >= 0) {
+          const auto owner = lock_owner.find(e.resource);
+          const bool holds = owner != lock_owner.end() &&
+                             owner->second ==
+                                 std::make_pair(e.job, e.vertex);
+          s.cat = holds ? "hold" : "spin";
+          s.name = base + (holds ? " hold r" : " spin r") +
+                   std::to_string(e.resource);
+        } else {
+          s.cat = "vertex";
+          s.name = base;
+        }
+        open[e.processor] = std::move(s);
+        break;
+      }
+      case TraceKind::kAgentDispatch: {
+        close_span(e.processor, e.time);
+        OpenSpan s;
+        s.start = e.time;
+        s.cat = "agent";
+        s.name = "agent T" + std::to_string(e.task) + " r" +
+                 std::to_string(e.resource);
+        s.task = e.task;
+        s.job = e.job;
+        s.vertex = e.vertex;
+        s.resource = e.resource;
+        open[e.processor] = std::move(s);
+        break;
+      }
+      case TraceKind::kSegmentEnd:
+      case TraceKind::kVertexPreempt:
+      case TraceKind::kAgentComplete:
+      case TraceKind::kAgentPreempt:
+        close_span(e.processor, e.time);
+        break;
+      case TraceKind::kLocalLock:
+        lock_owner[e.resource] = {e.job, e.vertex};
+        break;
+      case TraceKind::kLocalUnlock:
+        lock_owner.erase(e.resource);
+        break;
+      case TraceKind::kRequestIssue:
+        w.instant(kProcessorsPid, e.processor, e.time,
+                  "request r" + std::to_string(e.resource), "request",
+                  req_args(e));
+        break;
+      case TraceKind::kRequestGrant:
+        w.instant(kProcessorsPid, e.processor, e.time,
+                  "grant r" + std::to_string(e.resource), "request",
+                  req_args(e));
+        break;
+      case TraceKind::kJobRelease:
+        w.instant(kTasksPid, e.task, e.time,
+                  "release T" + std::to_string(e.task), "job",
+                  "{\"job\":" + std::to_string(e.job) + "}");
+        break;
+      case TraceKind::kJobComplete:
+        w.instant(kTasksPid, e.task, e.time,
+                  "done T" + std::to_string(e.task), "job",
+                  "{\"job\":" + std::to_string(e.job) + "}");
+        break;
+      case TraceKind::kVertexComplete:
+        break;  // carried by the preceding seg-end span close
+    }
+  }
+
+  // A truncated trace (hard_stop, max_trace_entries) can leave spans
+  // open; close them at the last recorded time so the file stays valid.
+  while (!open.empty())
+    close_span(open.begin()->first, last_time);
+
+  return w.finish();
+}
+
+}  // namespace dpcp

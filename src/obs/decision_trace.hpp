@@ -1,0 +1,97 @@
+// Bounded ring of structured admission decision records — the "why did
+// that admit cost 9 oracle calls" surface of the telemetry layer.
+//
+// The AdmissionController pushes one record per decision event (admit,
+// retry-queue re-admit, depart); the ring keeps the last `capacity`
+// records and counts everything it ever saw, so `trace` replies can say
+// both "here are the last n decisions" and "m older ones were dropped".
+// Records are plain integers and static tokens: pushing never allocates
+// once the ring is full, and rendering is a pure function of the record,
+// so golden transcripts can pin `trace` output byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dpcp {
+
+/// One decision event.  `kind` and `rung` point at static tokens
+/// ("admit"/"readmit"/"depart", admit_rung_token()), never owned strings.
+struct DecisionRecord {
+  std::int64_t seq = 0;  // controller-wide event number, 1-based
+  const char* kind = "?";
+  int id = -1;             // external task id
+  bool accepted = false;   // admit: accepted; depart: id was found
+  const char* rung = "-";  // escalation rung that decided an accept
+  std::int64_t cost = 0;   // oracle wcrt() calls this event spent
+  std::int64_t reused = 0;  // per-task re-analyses skipped this event
+  bool streak_reset = false;  // cross-event reuse state invalidated
+  bool degraded = false;      // repair rung disabled by the SLO window
+  bool queued = false;        // rejected and parked in the retry queue
+  int evicted_id = -1;        // retry entry evicted to make room, or -1
+  std::int64_t readmitted = 0;  // depart: re-admissions its pass accepted
+};
+
+/// `key=value` rendering of one record, stable field order (the wire
+/// form of the server's `trace` reply lines).
+inline std::string decision_record_line(const DecisionRecord& r) {
+  std::string out;
+  out += "seq=" + std::to_string(r.seq);
+  out += " kind=";
+  out += r.kind;
+  out += " id=" + std::to_string(r.id);
+  out += " ok=" + std::to_string(r.accepted ? 1 : 0);
+  out += " rung=";
+  out += r.rung;
+  out += " cost=" + std::to_string(r.cost);
+  out += " reused=" + std::to_string(r.reused);
+  out += " reset=" + std::to_string(r.streak_reset ? 1 : 0);
+  out += " degraded=" + std::to_string(r.degraded ? 1 : 0);
+  out += " queued=" + std::to_string(r.queued ? 1 : 0);
+  out += " evicted=" + std::to_string(r.evicted_id);
+  out += " readmitted=" + std::to_string(r.readmitted);
+  return out;
+}
+
+class DecisionTrace {
+ public:
+  explicit DecisionTrace(std::size_t capacity) : capacity_(capacity) {
+    ring_.reserve(capacity_);
+  }
+
+  void push(const DecisionRecord& r) {
+    ++recorded_;
+    if (capacity_ == 0) return;
+    if (ring_.size() < capacity_) {
+      ring_.push_back(r);
+    } else {
+      ring_[next_] = r;
+      next_ = (next_ + 1) % capacity_;
+    }
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  /// Records currently retained (<= capacity).
+  std::size_t size() const { return ring_.size(); }
+  /// Lifetime records pushed, including overwritten ones.
+  std::int64_t recorded() const { return recorded_; }
+
+  /// The most recent min(n, size()) records, oldest first.
+  std::vector<DecisionRecord> last(std::size_t n) const {
+    std::vector<DecisionRecord> out;
+    const std::size_t take = n < ring_.size() ? n : ring_.size();
+    out.reserve(take);
+    for (std::size_t k = ring_.size() - take; k < ring_.size(); ++k)
+      out.push_back(ring_[(next_ + k) % ring_.size()]);
+    return out;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::vector<DecisionRecord> ring_;
+  std::size_t next_ = 0;  // overwrite cursor once the ring is full
+  std::int64_t recorded_ = 0;
+};
+
+}  // namespace dpcp

@@ -39,6 +39,8 @@
 #include "analysis/interface.hpp"
 #include "analysis/session.hpp"
 #include "model/taskset.hpp"
+#include "obs/decision_trace.hpp"
+#include "obs/metrics.hpp"
 #include "opt/optimizer.hpp"
 #include "partition/partition.hpp"
 #include "partition/placement.hpp"
@@ -183,15 +185,40 @@ class AdmissionController {
   /// Lifetime per-event admission costs (oracle calls), for p50/p99/max.
   const IntHistogram& cost_histogram() const { return cost_hist_; }
 
+  // --- telemetry ----------------------------------------------------------
+  /// The controller's metrics registry (obs/metrics.hpp), maintained on
+  /// the hot path through pre-registered handles and re-seeded from the
+  /// restored counters by the snapshot constructor.  Everything in it is
+  /// count-based, so rendering it is deterministic at any thread/shard
+  /// count — the server's `metrics` command prints exactly this.
+  const MetricsRegistry& metrics() const { return metrics_; }
+  /// Bounded ring of per-event decision records (the `trace` command).
+  /// Not part of the snapshot: a restored controller starts an empty
+  /// ring, the counters above carry the lifetime story.
+  const DecisionTrace& decision_trace() const { return trace_; }
+  /// Analysis-layer cache counters of the long-lived session (all zero
+  /// unless built with -DDPCP_CACHE_INSTRUMENT).
+  const CacheStats& cache_stats() const { return session_.stats(); }
+  /// Decision records the ring retains.
+  static constexpr std::size_t kTraceCapacity = 64;
+
  private:
   struct Pending {
     int id;
     DagTask task;
   };
 
-  AdmitDecision admit_with_id(int external_id, DagTask task);
+  AdmitDecision admit_with_id(int external_id, DagTask task,
+                              const char* trace_kind);
   /// Records one event's cost into the SLO window and lifetime histogram.
   void note_cost(std::int64_t cost);
+  /// Registers every metric handle (both constructors).
+  void register_metrics();
+  /// Re-seeds the registry from stats_/cost_hist_/slo_window_ (the
+  /// restore path: handles carry the snapshot's lifetime counters).
+  void reseed_metrics();
+  /// Refreshes the resident/retry gauges after a decision event.
+  void update_gauges();
   /// Repair budget for the next admission: options_.repair_evals, or 0
   /// while the SLO window is over budget.
   std::int64_t effective_repair_evals() const;
@@ -238,6 +265,25 @@ class AdmissionController {
   std::int64_t slo_budget_ = 0;
   RollingQuantile slo_window_{kSloWindow};
   IntHistogram cost_hist_;
+
+  // Telemetry: registry handles resolved once at construction (hot-path
+  // updates are vector-indexed adds), plus the decision ring.  Counters
+  // mirror AdmissionStats by design — stats_ is the functional/snapshot
+  // surface, the registry the merge/render surface; tests/test_obs.cpp
+  // pins the two against each other.
+  struct MetricHandles {
+    MetricsRegistry::Counter submitted, accepted, rejected, departed;
+    MetricsRegistry::Counter delta, replace, repair, readmits, evictions;
+    MetricsRegistry::Counter degraded, streak_resets;
+    MetricsRegistry::Counter oracle_calls, reused;
+    MetricsRegistry::Counter resident, retry_depth;
+    MetricsRegistry::Histogram cost;
+    MetricsRegistry::Window cost_window;
+  };
+  MetricsRegistry metrics_;
+  MetricHandles h_;
+  DecisionTrace trace_{kTraceCapacity};
+  std::int64_t trace_seq_ = 0;  // event number of the next trace record
 
   // Cross-event oracle-result reuse (the optimizer's evaluate() rule): a
   // task keeps its previous bound when the oracle certifies its inputs

@@ -96,6 +96,8 @@ void CommandSession::dispatch(const std::vector<std::string>& cmd) {
   if (cmd[0] == "query") return do_query(cmd);
   if (cmd[0] == "stats") return do_stats(cmd);
   if (cmd[0] == "slo") return do_slo(cmd);
+  if (cmd[0] == "metrics") return do_metrics(cmd);
+  if (cmd[0] == "trace") return do_trace(cmd);
   if (cmd[0] == "snapshot") return do_snapshot(cmd);
   error("unknown command '" + cmd[0] + "'");
 }
@@ -269,6 +271,55 @@ void CommandSession::do_stats(const std::vector<std::string>& cmd) {
        << " evictions=" << s.retry_evictions
        << " oracle_calls=" << s.oracle_calls << " reused=" << s.tasks_reused
        << " retry=" << ctrl_->retry_queue_size() << "\n";
+}
+
+void CommandSession::do_metrics(const std::vector<std::string>& cmd) {
+  const bool json = cmd.size() == 2 && cmd[1] == "json";
+  if (cmd.size() > 2 || (cmd.size() == 2 && !json)) {
+    error("usage: metrics [json]");
+    return;
+  }
+  if (!ctrl_) {
+    error("no workload loaded (use 'load')");
+    return;
+  }
+  // The registry is all integer counts maintained on the decision path,
+  // so this body is a pure function of the session's command history —
+  // golden transcripts pin it byte for byte, in both build flavors
+  // (instrument-dependent counters deliberately stay out of it; see
+  // online_tool --metrics-json for the folded cache stats).
+  if (json)
+    out_ << ctrl_->metrics().to_json() << "\n";
+  else
+    out_ << ctrl_->metrics().to_prometheus();
+  out_ << "ok metrics count=" << ctrl_->metrics().num_metrics() << "\n";
+}
+
+void CommandSession::do_trace(const std::vector<std::string>& cmd) {
+  std::size_t n = AdmissionController::kTraceCapacity;
+  if (cmd.size() > 2) {
+    error("usage: trace [n]");
+    return;
+  }
+  if (cmd.size() == 2) {
+    const auto v = parse_int(cmd[1], 0, INT32_MAX);
+    if (!v) {
+      error("usage: trace [n]");
+      return;
+    }
+    n = static_cast<std::size_t>(*v);
+  }
+  if (!ctrl_) {
+    error("no workload loaded (use 'load')");
+    return;
+  }
+  const DecisionTrace& trace = ctrl_->decision_trace();
+  const std::vector<DecisionRecord> recent = trace.last(n);
+  for (const DecisionRecord& r : recent)
+    out_ << "trace " << decision_record_line(r) << "\n";
+  out_ << "ok trace shown=" << recent.size()
+       << " recorded=" << trace.recorded()
+       << " capacity=" << trace.capacity() << "\n";
 }
 
 void CommandSession::do_slo(const std::vector<std::string>& cmd) {

@@ -14,15 +14,19 @@
 //   stats                      # lifetime counters (+ cost percentiles
 //                              # once an SLO is set)
 //   slo 99 40                  # degrade repair when rolling p99 cost > 40
+//   metrics                    # controller metrics, Prometheus text form
+//   metrics json               # same registry as one JSON line
+//   trace                      # recent decision records (trace 5 = last 5)
 //   snapshot                   # serialize the controller (payload reply)
 //   restore                    # rebuild from a snapshot; payload follows
 //   quit
 //
 // Every reply line starts with `admit`, `evict`, `task`, `gone`, `cost`,
 // `snapshot begin` (followed by payload lines and a lone `.`), `ok <cmd>`
-// or `error`; a command's reply always ends with exactly one `ok`/`error`
-// line, so clients (and the golden-transcript test) can frame responses
-// without timing.  Output is a pure function of the input stream and the
+// or `error`; `metrics` and `trace` replies carry free-form body lines
+// (Prometheus text / `trace seq=...` records) but still end with the one
+// `ok` line, so clients (and the golden-transcript test) can frame
+// responses without timing.  Output is a pure function of the input stream and the
 // options — no clocks, no ambient randomness — which is what lets CI
 // diff a live session against a committed transcript byte for byte.
 //
@@ -112,6 +116,8 @@ class CommandSession {
   void do_depart(const std::vector<std::string>& cmd);
   void do_query(const std::vector<std::string>& cmd);
   void do_stats(const std::vector<std::string>& cmd);
+  void do_metrics(const std::vector<std::string>& cmd);
+  void do_trace(const std::vector<std::string>& cmd);
   void do_slo(const std::vector<std::string>& cmd);
   void do_snapshot(const std::vector<std::string>& cmd);
   void error(const std::string& message);

@@ -36,10 +36,12 @@ std::string trace_kind_name(TraceKind kind) {
     case TraceKind::kVertexDispatch: return "run";
     case TraceKind::kVertexPreempt:  return "preempt";
     case TraceKind::kVertexComplete: return "vertex-done";
+    case TraceKind::kSegmentEnd:     return "seg-end";
     case TraceKind::kRequestIssue:   return "request";
     case TraceKind::kRequestGrant:   return "grant";
     case TraceKind::kAgentDispatch:  return "agent-run";
     case TraceKind::kAgentComplete:  return "agent-done";
+    case TraceKind::kAgentPreempt:   return "agent-preempt";
     case TraceKind::kLocalLock:      return "local-lock";
     case TraceKind::kLocalUnlock:    return "local-unlock";
   }

@@ -83,6 +83,12 @@ struct SimConfig {
   std::uint64_t seed = 1;
   /// Record a full event trace (costly; for tests and examples).
   bool record_trace = false;
+  /// Memory guard on the recorded trace, mirroring `max_events`:
+  /// recording more than this many entries throws std::runtime_error
+  /// with a descriptive message instead of growing without bound (long
+  /// horizons with record_trace on are exactly the exporter's use case).
+  /// 0 = unlimited (the default; record_trace already defaults off).
+  std::int64_t max_trace_entries = 0;
   /// Run the runtime invariant checkers (Lemma 1, mutual exclusion,
   /// work-conservation) during simulation.
   bool run_checkers = true;
@@ -139,10 +145,16 @@ enum class TraceKind {
   kVertexDispatch,   // vertex starts/resumes on a processor
   kVertexPreempt,
   kVertexComplete,
+  /// A vertex segment ran to completion and vacated its processor (the
+  /// only proc-carrying exit besides preemption — kVertexComplete fires
+  /// once per vertex with no processor, so span reconstruction needs
+  /// this per-segment close; obs/chrome_trace.hpp consumes it).
+  kSegmentEnd,
   kRequestIssue,     // global request arrives at its synchronization proc
   kRequestGrant,     // lock granted (enters RQ^G)
   kAgentDispatch,    // agent starts/resumes executing
   kAgentComplete,    // critical section finished, lock released
+  kAgentPreempt,     // running agent preempted by a higher-priority one
   kLocalLock,
   kLocalUnlock,
 };

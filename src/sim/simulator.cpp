@@ -157,6 +157,14 @@ struct Simulator::Impl {
   void record(TraceKind kind, int task, std::int64_t job, int vertex,
               int processor, int resource) {
     if (!cfg.record_trace) return;
+    if (cfg.max_trace_entries > 0 &&
+        static_cast<std::int64_t>(trace.size()) >= cfg.max_trace_entries)
+      throw std::runtime_error(
+          "simulator trace guard tripped: more than " +
+          std::to_string(cfg.max_trace_entries) +
+          " trace entries recorded (simulated time " + std::to_string(now) +
+          " ns) -- raise SimConfig::max_trace_entries (0 = unlimited) or "
+          "narrow the horizon");
     trace.push_back(TraceEvent{now, kind, task, job, vertex, processor,
                                resource});
   }
@@ -526,6 +534,8 @@ struct Simulator::Impl {
       GlobalRequest& req = requests[static_cast<std::size_t>(p.request)];
       req.remaining -= now - dispatch_time_[static_cast<std::size_t>(pid)];
       assert(req.remaining >= 0);
+      record(TraceKind::kAgentPreempt, req.task, req.job, req.vertex, pid,
+             req.resource);
       const int prio = ts.task(req.task).priority();
       p.ready_agents.insert({-prio, req.id, req.id});
     }
@@ -696,6 +706,12 @@ struct Simulator::Impl {
           job.segments[static_cast<std::size_t>(vertex)]
               [static_cast<std::size_t>(
                    job.seg_index[static_cast<std::size_t>(vertex)])];
+      // Per-segment processor vacate: kVertexComplete fires once per
+      // vertex with no processor, so this is the only record tying a
+      // run-to-completion exit to its processor (span reconstruction in
+      // obs/chrome_trace needs every occupancy to close explicitly).
+      record(TraceKind::kSegmentEnd, job.task, job_id, vertex, pid,
+             seg.critical ? seg.resource : -1);
       if (seg.critical) release_local(seg.resource, job_id, vertex);
       advance_vertex(job_id, vertex);
     } else {

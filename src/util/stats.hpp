@@ -107,6 +107,14 @@ class RollingQuantile {
     }
   }
 
+  /// Folds in `o`'s retained window, oldest first — exactly equivalent
+  /// to feeding o's surviving samples into this window after this one's
+  /// own stream (the single-stream equivalence tests/test_obs.cpp pins).
+  /// Self-merge replays a copy of the current window, so it is safe.
+  void merge(const RollingQuantile& o) {
+    for (std::int64_t v : o.samples_in_order()) add(v);
+  }
+
   std::size_t size() const { return window_.size(); }
   std::size_t capacity() const { return capacity_; }
 
